@@ -1,0 +1,60 @@
+"""Fig 1: the motivating claim — I/O dominates training time at scale.
+
+The paper's Figure 1 caption: "DL applications running at large-scale
+training environments spend 67-85% of their execution time performing
+I/O to a PFS as reported in several recent works."  In this model the
+number is derivable: at a saturated-GPFS scale, the I/O fraction is
+1 − (compute-only epoch ÷ GPFS epoch).  This bench checks that our
+calibrated system lands inside the published band at the paper's scales
+— and that HVAC removes most of it, which is the whole point.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.cluster import SUMMIT
+from repro.dl import IMAGENET21K, RESNET50
+from repro.model import AnalyticModel
+
+SCALES = [64, 256, 512, 1024]
+
+
+def _run():
+    rows = []
+    for n_nodes in SCALES:
+        m = AnalyticModel(SUMMIT, RESNET50, IMAGENET21K, n_nodes)
+        compute_epoch = (
+            m.files_per_epoch * m.compute_sec_per_file / m.n_ranks
+        )
+        gpfs_epoch = m.predict_gpfs().epoch_seconds
+        hvac_epoch = m.predict_hvac(4).epoch_seconds
+        io_frac_gpfs = 1.0 - compute_epoch / gpfs_epoch
+        io_frac_hvac = 1.0 - compute_epoch / hvac_epoch
+        rows.append((n_nodes, io_frac_gpfs, io_frac_hvac))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_io_fraction(benchmark, capsys):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["nodes", "I/O fraction on GPFS", "I/O fraction on HVAC(4x1)"],
+            [[n, f"{g:.0%}", f"{h:.0%}"] for n, g, h in rows],
+            title=("Fig 1's motivating claim: time spent in I/O "
+                   "(ResNet50/ImageNet21K)"),
+        ))
+
+    by_nodes = {n: (g, h) for n, g, h in rows}
+    # At the paper's saturated scales, GPFS I/O consumes the published
+    # 67-85% band of execution time.
+    for n in (512, 1024):
+        g, _ = by_nodes[n]
+        assert 0.60 <= g <= 0.90
+    # Below saturation the fraction is small — the bottleneck is emergent.
+    assert by_nodes[64][0] < 0.40
+    # And HVAC removes most of the I/O share at every scale.
+    for n in SCALES:
+        g, h = by_nodes[n]
+        assert h < g * 0.6 or h < 0.25

@@ -1,0 +1,46 @@
+"""Fig 3: MDTest 32 KB open-read-close transactions/s, GPFS vs XFS-on-NVMe.
+
+Regenerates the paper's small-file motivation figure: GPFS saturates at
+the metadata ceiling while XFS-on-NVMe scales linearly with nodes.
+"""
+
+import pytest
+
+from repro.experiments import SMALL_FILE, mdtest_scaling, mdtest_scaling_analytic
+
+from conftest import bench_nodes, paper_nodes
+
+
+def _run():
+    des = mdtest_scaling(
+        SMALL_FILE, bench_nodes(), ranks_per_node=6, files_per_rank=8
+    )
+    analytic = mdtest_scaling_analytic(SMALL_FILE, paper_nodes())
+    return des, analytic
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_mdtest_small_files(benchmark, capsys):
+    des, analytic = benchmark.pedantic(_run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(des.render())
+        print()
+        print(analytic.render() + "   [analytic, full sweep]")
+        print()
+        from repro.analysis import ascii_chart
+
+        print(ascii_chart(
+            analytic.node_counts, analytic.tx_per_sec,
+            title="Fig 3 shape: the metadata plateau vs linear NVMe",
+            log_x=True, log_y=True, x_label="nodes", y_label="tx/s",
+        ))
+
+    # Paper claim: the XFS/GPFS gap widens with node count.
+    ratios = des.ratio()
+    assert ratios[-1] > ratios[0] > 1.0
+    # Full sweep: GPFS flat by 1024 nodes, XFS still doubling.
+    g = analytic.tx_per_sec["GPFS"]
+    x = analytic.tx_per_sec["XFS-on-NVMe"]
+    assert g[-1] == pytest.approx(g[-2], rel=0.05)
+    assert x[-1] == pytest.approx(2 * x[-2], rel=0.05)

@@ -1,0 +1,50 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as the paper's figure generators: each bench runs the
+experiment at a configurable scale and *prints the figure's rows* so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation.
+
+Scale knobs (environment variables, all optional):
+
+* ``HVAC_BENCH_SCALE`` — ``small`` (default; CI-friendly), ``paper``
+  (closer to the paper's node counts; minutes of wall time).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import Scale
+
+BENCH_SCALE = os.environ.get("HVAC_BENCH_SCALE", "small")
+
+
+def bench_scale() -> Scale:
+    if BENCH_SCALE == "paper":
+        return Scale(
+            files_per_rank=16,
+            sim_batch_size=8,
+            repetitions=3,
+            procs_per_node=6,
+            epoch_estimator="mean-rank",
+        )
+    return Scale(
+        files_per_rank=8, sim_batch_size=4, repetitions=1, procs_per_node=4
+    )
+
+
+def bench_nodes() -> list[int]:
+    """Node sweep for DES benches (Fig 8-style)."""
+    if BENCH_SCALE == "paper":
+        return [1, 8, 32, 128, 512]
+    return [2, 8, 32]
+
+
+def paper_nodes() -> list[int]:
+    """The paper's full sweep — used by analytic benches (instant)."""
+    return [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return bench_scale()

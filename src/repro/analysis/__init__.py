@@ -1,0 +1,21 @@
+"""Statistics and result formatting."""
+
+from .charts import ascii_chart
+from .persist import load_results, save_results, to_jsonable
+from .stats import MeanCI, empirical_cdf, gini, load_imbalance, mean_ci
+from .tables import format_kv, format_series, format_table
+
+__all__ = [
+    "ascii_chart",
+    "empirical_cdf",
+    "format_kv",
+    "format_series",
+    "format_table",
+    "load_results",
+    "save_results",
+    "to_jsonable",
+    "gini",
+    "load_imbalance",
+    "MeanCI",
+    "mean_ci",
+]

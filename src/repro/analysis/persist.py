@@ -1,0 +1,58 @@
+"""Result persistence: save any experiment result as JSON.
+
+The figure drivers return small result objects (dataclasses or plain
+classes with dict/list/ndarray fields); :func:`save_results` serializes
+them losslessly enough for external plotting tools, and
+:func:`load_results` round-trips into plain dicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_results", "load_results"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert result objects to JSON-compatible values."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if hasattr(obj, "__dict__"):
+        return {
+            k: to_jsonable(v)
+            for k, v in vars(obj).items()
+            if not k.startswith("_")
+        }
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def save_results(obj: Any, path: str, label: str = "") -> None:
+    """Write a result object (plus an optional label) to ``path``."""
+    payload = {"label": label or type(obj).__name__, "data": to_jsonable(obj)}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_results(path: str) -> dict:
+    """Load a previously saved result into plain dicts/lists."""
+    with open(path) as fh:
+        return json.load(fh)

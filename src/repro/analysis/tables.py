@@ -1,0 +1,73 @@
+"""Plain-text table/series rendering for experiment results.
+
+Every benchmark prints its figure/table through these helpers so the
+output "prints the same rows/series the paper reports" in a uniform,
+diffable format.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render an aligned monospace table."""
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, x in enumerate(row):
+            widths[i] = max(widths[i], len(x))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render one figure's line series: x column + one column per line."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(float(values[i]))
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def format_kv(pairs: Mapping[str, object], title: str = "") -> str:
+    """Render key/value summary lines."""
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        lines.append(f"{key.ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Compared storage systems packaged as uniform setups."""
+
+from .setups import (
+    SYSTEM_SETUPS,
+    GPFSSetup,
+    HVACSetup,
+    LPCCLikeSetup,
+    StorageSetup,
+    SystemHandle,
+    XFSSetup,
+)
+
+__all__ = [
+    "GPFSSetup",
+    "HVACSetup",
+    "LPCCLikeSetup",
+    "StorageSetup",
+    "SystemHandle",
+    "SYSTEM_SETUPS",
+    "XFSSetup",
+]

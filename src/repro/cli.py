@@ -1,0 +1,238 @@
+"""Command-line interface: regenerate the paper's figures and run
+ad-hoc simulations without pytest.
+
+    python -m repro fig9 --nodes 2 8 32
+    python -m repro mdtest --file-size 32768 --nodes 1 4 16
+    python -m repro train --system hvac4 --model resnet50 --nodes 16
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import format_kv, format_series
+from .cluster import SUMMIT
+from .dl import ALL_MODELS, COSMOUNIVERSE, DEEPCAM_CLIMATE, IMAGENET21K
+from .experiments import (
+    Scale,
+    generate_report,
+    accuracy_comparison,
+    load_balance,
+    mdtest_scaling,
+    mdtest_scaling_analytic,
+    node_scaling,
+    node_scaling_analytic,
+    normalized_to_gpfs,
+    overhead_vs_xfs,
+    run_training,
+)
+
+__all__ = ["main"]
+
+_MODEL_DATASET = {
+    "resnet50": IMAGENET21K,
+    "tresnet_m": IMAGENET21K,
+    "cosmoflow": COSMOUNIVERSE,
+    "deepcam": DEEPCAM_CLIMATE,
+}
+
+
+def _scale(args: argparse.Namespace) -> Scale:
+    return Scale(
+        files_per_rank=args.files_per_rank,
+        sim_batch_size=8,
+        repetitions=args.repetitions,
+        procs_per_node=args.procs_per_node,
+    )
+
+
+def _add_scale_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--files-per-rank", type=int, default=8,
+                   help="sampled files per rank (event-count knob)")
+    p.add_argument("--procs-per-node", type=int, default=4)
+    p.add_argument("--repetitions", type=int, default=1)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    spec = SUMMIT
+    print(format_kv({
+        "cluster": spec.name,
+        "total nodes": spec.total_nodes,
+        "GPFS aggregate bandwidth (TB/s)": spec.pfs.aggregate_bandwidth / 1e12,
+        "GPFS metadata ceiling (tx/s)": spec.pfs.aggregate_metadata_ops
+        / (spec.pfs.ops_per_open + spec.pfs.ops_per_close),
+        "NVMe per node (GB/s)": spec.node.nvme.read_bandwidth / 1e9,
+        "NVMe capacity per node (TB)": spec.node.nvme.capacity_bytes / 1e12,
+        "NIC per node (GB/s)": spec.network.nic_bandwidth / 1e9,
+        "HVAC mover overhead (us)": spec.hvac.server_request_overhead * 1e6,
+    }, title="Calibrated Summit model (cluster/specs.py)"))
+    print()
+    print(format_kv(
+        {name: f"{m.samples_per_sec_per_gpu:.0f} samples/s/GPU, "
+               f"{m.n_parameters:,} params" for name, m in ALL_MODELS.items()},
+        title="Workload models",
+    ))
+    return 0
+
+
+def cmd_mdtest(args: argparse.Namespace) -> int:
+    res = mdtest_scaling(
+        args.file_size, args.nodes,
+        ranks_per_node=args.procs_per_node,
+        files_per_rank=args.files_per_rank,
+    )
+    print(res.render())
+    if args.analytic:
+        print()
+        print(mdtest_scaling_analytic(
+            args.file_size, [1, 4, 16, 64, 256, 1024, 4096]
+        ).render() + "   [analytic]")
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    model = ALL_MODELS[args.model]
+    dataset = _MODEL_DATASET[args.model]
+    res = node_scaling(
+        model, dataset, args.nodes, _scale(args),
+        systems=tuple(args.systems), total_epochs=args.epochs,
+    )
+    print(res.render())
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    model = ALL_MODELS[args.model]
+    dataset = _MODEL_DATASET[args.model]
+    res = node_scaling(
+        model, dataset, args.nodes, _scale(args), total_epochs=args.epochs
+    )
+    print(format_series("nodes", res.node_counts, normalized_to_gpfs(res),
+                        title="Fig 9a: % improvement over GPFS"))
+    print()
+    print(format_series("nodes", res.node_counts, overhead_vs_xfs(res),
+                        title="Fig 9b: % overhead vs XFS-on-NVMe"))
+    if args.analytic:
+        full = node_scaling_analytic(
+            model, dataset, [1, 16, 64, 256, 512, 1024], total_epochs=args.epochs
+        )
+        print()
+        print(format_series("nodes", full.node_counts, normalized_to_gpfs(full),
+                            title="Fig 9a [analytic, full sweep]"))
+    return 0
+
+
+def cmd_fig14(args: argparse.Namespace) -> int:
+    print(accuracy_comparison(n_epochs=args.epochs).render())
+    return 0
+
+
+def cmd_fig15(args: argparse.Namespace) -> int:
+    print(load_balance(args.nodes, n_files=args.files).render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    text = generate_report(
+        scale=_scale(args),
+        node_counts=args.nodes,
+        include_des=not args.analytic_only,
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    model = ALL_MODELS[args.model]
+    dataset = _MODEL_DATASET[args.model]
+    res = run_training(args.system, model, dataset, args.nodes[0], _scale(args))
+    print(format_kv({
+        "system": res.system_label,
+        "config": res.config_label,
+        "epoch-1 (s)": res.first_epoch,
+        "steady epoch (s)": res.best_random_epoch,
+        f"extrapolated total, {args.epochs} epochs (min)":
+            res.extrapolate_total(args.epochs) / 60,
+        "cache hit rate": res.cache_hit_rate,
+    }, title="Training simulation"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HVAC reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="show the calibrated system model")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("mdtest", help="Figs 3-4: MDTest sweep")
+    p.add_argument("--file-size", type=int, default=32 * 1024)
+    p.add_argument("--nodes", type=int, nargs="+", default=[1, 4, 16])
+    p.add_argument("--analytic", action="store_true")
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_mdtest)
+
+    p = sub.add_parser("fig8", help="Fig 8: training-time node sweep")
+    p.add_argument("--model", choices=sorted(ALL_MODELS), default="resnet50")
+    p.add_argument("--nodes", type=int, nargs="+", default=[2, 8])
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--systems", nargs="+",
+                   default=["gpfs", "hvac1", "hvac4", "xfs"])
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("fig9", help="Fig 9: normalized improvement/overhead")
+    p.add_argument("--model", choices=sorted(ALL_MODELS), default="resnet50")
+    p.add_argument("--nodes", type=int, nargs="+", default=[2, 8])
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--analytic", action="store_true")
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_fig9)
+
+    p = sub.add_parser("fig14", help="Fig 14: accuracy comparison")
+    p.add_argument("--epochs", type=int, default=10)
+    p.set_defaults(func=cmd_fig14)
+
+    p = sub.add_parser("fig15", help="Fig 15: load balance")
+    p.add_argument("--nodes", type=int, nargs="+", default=[32, 128, 512])
+    p.add_argument("--files", type=int, default=50_000)
+    p.set_defaults(func=cmd_fig15)
+
+    p = sub.add_parser("report", help="full evaluation report (all figures)")
+    p.add_argument("--nodes", type=int, nargs="+", default=[2, 8])
+    p.add_argument("--analytic-only", action="store_true",
+                   help="skip the DES; instant analytic-only report")
+    p.add_argument("--output", default="",
+                   help="write to a file instead of stdout")
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("train", help="one training simulation")
+    p.add_argument("--system", default="hvac1",
+                   help="gpfs | hvac1 | hvac2 | hvac4 | xfs")
+    p.add_argument("--model", choices=sorted(ALL_MODELS), default="resnet50")
+    p.add_argument("--nodes", type=int, nargs="+", default=[8])
+    p.add_argument("--epochs", type=int, default=10)
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_train)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Cluster hardware models: nodes, NVMe devices, fabric, calibrated specs."""
+
+from .network import Fabric
+from .node import Allocation, ComputeNode
+from .nvme import DeviceFull, NVMeDevice
+from .specs import (
+    FRONTIER,
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    SUMMIT,
+    TB,
+    TESTING,
+    TiB,
+    ClusterSpec,
+    HVACSpec,
+    NetworkSpec,
+    NodeSpec,
+    NVMeSpec,
+    PFSSpec,
+)
+
+__all__ = [
+    "Allocation",
+    "ClusterSpec",
+    "ComputeNode",
+    "DeviceFull",
+    "Fabric",
+    "FRONTIER",
+    "GB",
+    "GiB",
+    "HVACSpec",
+    "KB",
+    "KiB",
+    "MB",
+    "MiB",
+    "NetworkSpec",
+    "NodeSpec",
+    "NVMeDevice",
+    "NVMeSpec",
+    "PFSSpec",
+    "SUMMIT",
+    "TB",
+    "TESTING",
+    "TiB",
+]

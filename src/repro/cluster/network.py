@@ -1,0 +1,143 @@
+"""Compute fabric model (Summit: non-blocking EDR Infiniband fat tree).
+
+Each node owns a TX and an RX port.  A transfer holds the sender's TX
+port and the receiver's RX port simultaneously for
+
+    ``link_latency + nbytes / nic_bandwidth``
+
+so a single flow sees full NIC bandwidth while competing flows through
+either endpoint queue up — the contention that matters for HVAC remote
+cache reads (many clients hashing to one server).  The switch core is
+treated as non-blocking, which matches Summit's fat tree; rack-level
+oversubscription can be modelled by lowering
+``bisection_bandwidth_per_node`` (enforced as a fabric-wide token pool).
+
+Same-node transfers model the shared-memory path: endpoint overhead plus
+a copy at ``loopback_bandwidth``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simcore import Environment, MetricRegistry, Resource, SimulationError
+from .specs import NetworkSpec
+
+__all__ = ["Fabric"]
+
+
+class _Port:
+    """One direction of one NIC: a FIFO, capacity-1 bandwidth server."""
+
+    __slots__ = ("res",)
+
+    def __init__(self, env: Environment):
+        self.res = Resource(env, capacity=1)
+
+
+class Fabric:
+    """The interconnect among ``n_nodes`` compute nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: NetworkSpec,
+        n_nodes: int,
+        metrics: MetricRegistry | None = None,
+    ):
+        if n_nodes <= 0:
+            raise SimulationError("n_nodes must be positive")
+        self.env = env
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self.metrics = metrics or MetricRegistry()
+        self._tx = [_Port(env) for _ in range(n_nodes)]
+        self._rx = [_Port(env) for _ in range(n_nodes)]
+        # Core capacity: a pool of "flow" tokens.  With the default
+        # non-blocking spec this is one token per possible endpoint and
+        # never binds; an oversubscribed fabric gets fewer tokens.
+        ratio = spec.bisection_bandwidth_per_node / spec.nic_bandwidth
+        core_flows = max(1, int(n_nodes * min(ratio, 1.0)))
+        self._core = Resource(env, capacity=core_flows)
+        # Optional rack topology: per-rack uplink ports (each direction
+        # a serial bandwidth server) that inter-rack flows must cross.
+        self._rack_size = spec.rack_size
+        if self._rack_size > 0:
+            n_racks = -(-n_nodes // self._rack_size)
+            self._uplink_tx = [_Port(env) for _ in range(n_racks)]
+            self._uplink_rx = [_Port(env) for _ in range(n_racks)]
+            self._uplink_bw = (
+                spec.rack_uplink_bandwidth
+                or self._rack_size * spec.nic_bandwidth
+            )
+        else:
+            self._uplink_tx = self._uplink_rx = []
+            self._uplink_bw = 0.0
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.n_nodes:
+            raise SimulationError(f"node id {node_id} out of range 0..{self.n_nodes - 1}")
+
+    def transfer(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Move ``nbytes`` from ``src`` to ``dst``; yields until delivered."""
+        self._check_node(src)
+        self._check_node(dst)
+        if nbytes < 0:
+            raise SimulationError("nbytes must be >= 0")
+        spec = self.spec
+
+        if src == dst:
+            yield self.env.timeout(
+                spec.per_message_overhead + nbytes / spec.loopback_bandwidth
+            )
+            self.metrics.counter("fabric.local_transfers").incr()
+            return
+
+        yield self.env.timeout(spec.per_message_overhead)
+        with self._tx[src].res.request() as tx:
+            yield tx
+            with self._rx[dst].res.request() as rx:
+                yield rx
+                with self._core.request() as flow:
+                    yield flow
+                    if self._crosses_racks(src, dst):
+                        yield from self._inter_rack_leg(src, dst, nbytes)
+                    else:
+                        yield self.env.timeout(
+                            spec.link_latency + nbytes / spec.nic_bandwidth
+                        )
+        self.metrics.counter("fabric.remote_transfers").incr()
+        self.metrics.tally("fabric.remote_bytes").add(nbytes)
+
+    # -- topology --------------------------------------------------------
+    def rack_of(self, node_id: int) -> int:
+        """The rack containing ``node_id`` (0 for a flat fabric)."""
+        self._check_node(node_id)
+        return node_id // self._rack_size if self._rack_size > 0 else 0
+
+    def _crosses_racks(self, src: int, dst: int) -> bool:
+        return self._rack_size > 0 and self.rack_of(src) != self.rack_of(dst)
+
+    def _inter_rack_leg(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Cross-rack hop: also hold both racks' uplink ports; the flow
+        runs at the slower of NIC and uplink bandwidth."""
+        spec = self.spec
+        with self._uplink_tx[self.rack_of(src)].res.request() as up:
+            yield up
+            with self._uplink_rx[self.rack_of(dst)].res.request() as down:
+                yield down
+                rate = min(spec.nic_bandwidth, self._uplink_bw)
+                yield self.env.timeout(2 * spec.link_latency + nbytes / rate)
+        self.metrics.counter("fabric.inter_rack_transfers").incr()
+
+    def message(self, src: int, dst: int) -> Generator:
+        """A small control message (RPC header-sized): latency only."""
+        yield from self.transfer(src, dst, 256)
+
+    def tx_queue_len(self, node_id: int) -> int:
+        self._check_node(node_id)
+        return self._tx[node_id].res.queued
+
+    def rx_queue_len(self, node_id: int) -> int:
+        self._check_node(node_id)
+        return self._rx[node_id].res.queued

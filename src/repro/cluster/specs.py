@@ -1,0 +1,296 @@
+"""Hardware specifications and calibrated presets.
+
+All the constants that determine simulated performance live here, in one
+place, as frozen dataclasses.  The defaults are calibrated against the
+published Summit numbers the paper reports (Table I and §II-C):
+
+* Alpine GPFS aggregate read bandwidth: 2.5 TB/s.
+* Node-local NVMe aggregate at 4,096 nodes: 22.5 TB/s → ≈5.5 GB/s/node.
+* 1.6 TB Samsung NVMe per node, dual-rail EDR Infiniband (≈12.5 GB/s
+  usable per direction per node), 512 GB DDR4, 6 V100 GPUs.
+
+Every experiment takes a :class:`ClusterSpec` so ablations can perturb
+any constant without touching model code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "NVMeSpec",
+    "NetworkSpec",
+    "PFSSpec",
+    "NodeSpec",
+    "HVACSpec",
+    "ClusterSpec",
+    "SUMMIT",
+    "FRONTIER",
+    "TESTING",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+]
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+KB = 1000
+MB = 1000**2
+GB = 1000**3
+TB = 1000**4
+
+
+@dataclass(frozen=True)
+class NVMeSpec:
+    """A node-local NVMe SSD (Summit: 1.6 TB Samsung PM1725a, XFS)."""
+
+    capacity_bytes: int = int(1.6e12)
+    read_bandwidth: float = 5.5e9  # bytes/s (22.5 TB/s / 4096 nodes)
+    write_bandwidth: float = 2.1e9  # bytes/s
+    read_latency: float = 80e-6  # seconds per request
+    write_latency: float = 30e-6
+    queue_depth: int = 64
+    #: fixed filesystem (XFS) cost of an open()+close() pair on the device
+    fs_open_close_latency: float = 15e-6
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.read_bandwidth <= 0:
+            raise ValueError("NVMe capacity and bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Compute fabric (Summit: dual-rail Mellanox EDR Infiniband)."""
+
+    nic_bandwidth: float = 12.5e9  # bytes/s per node per direction
+    link_latency: float = 1.5e-6  # propagation + switching, seconds
+    #: full-bisection core capacity per node pair share; Summit's fat
+    #: tree is non-blocking, so default to effectively unconstrained.
+    bisection_bandwidth_per_node: float = 12.5e9
+    #: per-message software overhead at each endpoint (verbs post, IRQ)
+    per_message_overhead: float = 0.8e-6
+    #: same-node (shared-memory) transport bandwidth for co-located
+    #: client/server pairs, bytes/s
+    loopback_bandwidth: float = 50e9
+    #: nodes per rack for the topology model; 0 = flat (non-blocking)
+    #: fabric, the Summit default.  With racks, inter-rack transfers
+    #: additionally contend on per-rack uplinks.
+    rack_size: int = 0
+    #: per-rack uplink bandwidth (bytes/s per direction); 0 → equal to
+    #: ``rack_size × nic_bandwidth`` (no oversubscription)
+    rack_uplink_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nic_bandwidth <= 0:
+            raise ValueError("NIC bandwidth must be positive")
+        if self.rack_size < 0 or self.rack_uplink_bandwidth < 0:
+            raise ValueError("rack parameters must be >= 0")
+
+
+@dataclass(frozen=True)
+class PFSSpec:
+    """A GPFS/Lustre-like center-wide parallel file system (Alpine).
+
+    The two saturation mechanisms that drive the paper's motivation:
+
+    * ``n_metadata_servers`` × ``metadata_ops_per_sec`` caps the global
+      *open-read-close transaction* rate (small-file regime, Fig 3);
+    * ``n_data_servers`` × ``data_server_bandwidth`` caps aggregate read
+      bandwidth (large-file regime, Fig 4) — defaults give 2.5 TB/s.
+    """
+
+    n_metadata_servers: int = 32
+    #: per MDS: lookup + token grant ops.  30 k ops/s × 32 MDS with a
+    #: 3-op transaction gives a ≈320 k tx/s aggregate ceiling, which
+    #: reproduces both the Fig 3 MDTest plateau and the paper's ≈3×
+    #: cached-epoch speedup over saturated GPFS at 512 nodes (Fig 11).
+    metadata_ops_per_sec: float = 30_000.0
+    #: extra serialized ops per open for lock/token management
+    ops_per_open: float = 2.0
+    ops_per_close: float = 1.0
+    n_data_servers: int = 154
+    data_server_bandwidth: float = 16.3e9  # bytes/s each → ≈2.5 TB/s total
+    stripe_size: int = 16 * MiB
+    #: per-request latency a client *observes* on the data path: network
+    #: round trip, disk head-of-line, and the steady interference of a
+    #: *center-wide* shared file system (Alpine serves every OLCF
+    #: resource, §IV-A1).  A pure delay — it does NOT occupy the data
+    #: server (other users cause it, not this job).  Calibrated so
+    #: unsaturated GPFS costs ≈1.4 ms per small-file transaction, which
+    #: reproduces the paper's ≈20% HVAC gain at small node counts
+    #: (Fig 8a/b) on top of the saturation effects.
+    data_latency: float = 1.2e-3
+    #: per-request service time that DOES occupy a data server (request
+    #: processing, seek/queue); sets the NSD request-rate ceiling at
+    #: n_data_servers / (overhead + transfer) — high enough that small
+    #: files stay metadata-bound, as on the real system.
+    data_server_overhead: float = 100e-6
+    #: concurrent requests a single data server can overlap
+    data_server_concurrency: int = 48
+    #: concurrent RPCs a single MDS can overlap (token server threads)
+    mds_concurrency: int = 16
+    #: client-side software path length per call (GPFS client daemon)
+    client_overhead: float = 25e-6
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        return self.n_data_servers * self.data_server_bandwidth
+
+    @property
+    def aggregate_metadata_ops(self) -> float:
+        return self.n_metadata_servers * self.metadata_ops_per_sec
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node (Summit AC922, Table I)."""
+
+    n_gpus: int = 6
+    n_cores: int = 44  # 2 × POWER9 22 cores
+    memory_bytes: int = 512 * GiB
+    nvme: NVMeSpec = field(default_factory=NVMeSpec)
+
+
+@dataclass(frozen=True)
+class HVACSpec:
+    """Tunables of the HVAC library itself (paper §III).
+
+    ``server_request_overhead`` is the paper's "implementation overhead"
+    — FIFO queueing, RPC dispatch, and buffer copies per request inside
+    one HVAC server instance.  More instances per node divide the
+    per-node serialization, which is why HVAC(4×1) shows ~9% overhead vs
+    HVAC(1×1)'s ~25% (Fig 9b).
+    """
+
+    instances_per_node: int = 1
+    #: serialized server-side software time per request, per instance —
+    #: the single data-mover thread's dispatch/copy path.  Calibrated by
+    #: sweep (see EXPERIMENTS.md): 180 µs reproduces the paper's Fig 9b
+    #: overhead bands vs XFS-on-NVMe — HVAC(1×1)≈25%, (2×1)≈14%,
+    #: (4×1)≈9% — under the synchronous per-iteration read pattern.
+    server_request_overhead: float = 180e-6
+    #: client-side interception + hashing + RPC marshalling per call
+    client_request_overhead: float = 5e-6
+    #: requests one server instance data-mover can overlap against NVMe
+    data_mover_concurrency: int = 16
+    #: fraction of node-local NVMe HVAC may use for cache
+    cache_fraction: float = 0.9
+    eviction_policy: str = "random"  # random | lru | fifo | minio
+    hash_scheme: str = "mod"  # mod | consistent
+    #: virtual nodes per server for consistent hashing
+    consistent_vnodes: int = 64
+    replication_factor: int = 1  # >1 enables §III-H replication
+    #: whether clients fail over to replicas when a server has failed
+    failover_enabled: bool = True
+    #: segment-level caching for large files (§III-E / conclusion:
+    #: "data layout options for large files across multiple nodes"):
+    #: files above ``stripe_threshold`` are cached as independent
+    #: segments homed at different servers and read in parallel.
+    stripe_large_files: bool = False
+    stripe_threshold: int = 64 * 1024 * 1024
+    stripe_segment: int = 16 * 1024 * 1024
+    #: rack-aware replica placement + same-rack read preference
+    #: (requires replication_factor >= 2 and a NetworkSpec rack_size)
+    topology_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.instances_per_node < 1:
+            raise ValueError("instances_per_node must be >= 1")
+        if not 0 < self.cache_fraction <= 1:
+            raise ValueError("cache_fraction must be in (0, 1]")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.eviction_policy not in ("random", "lru", "fifo", "minio"):
+            raise ValueError(f"unknown eviction policy {self.eviction_policy!r}")
+        if self.hash_scheme not in ("mod", "consistent"):
+            raise ValueError(f"unknown hash scheme {self.hash_scheme!r}")
+        if self.stripe_segment < 1 or self.stripe_threshold < 1:
+            raise ValueError("stripe sizes must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A full machine: nodes + fabric + PFS + HVAC defaults."""
+
+    name: str = "summit"
+    total_nodes: int = 4608
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    pfs: PFSSpec = field(default_factory=PFSSpec)
+    hvac: HVACSpec = field(default_factory=HVACSpec)
+
+    def with_hvac(self, **kwargs) -> "ClusterSpec":
+        """A copy with HVAC tunables overridden."""
+        return replace(self, hvac=replace(self.hvac, **kwargs))
+
+    def with_pfs(self, **kwargs) -> "ClusterSpec":
+        return replace(self, pfs=replace(self.pfs, **kwargs))
+
+    def with_network(self, **kwargs) -> "ClusterSpec":
+        return replace(self, network=replace(self.network, **kwargs))
+
+
+#: Summit / Alpine as evaluated in the paper.
+SUMMIT = ClusterSpec()
+
+#: Frontier-like preset (paper's "upcoming supercomputers" outlook):
+#: Slingshot-11 NICs, larger/faster node-local NVMe, faster Orion-like PFS.
+FRONTIER = ClusterSpec(
+    name="frontier",
+    total_nodes=9408,
+    node=NodeSpec(
+        n_gpus=8,
+        n_cores=64,
+        nvme=NVMeSpec(
+            capacity_bytes=int(3.84e12),
+            read_bandwidth=11e9,
+            write_bandwidth=4.5e9,
+            read_latency=60e-6,
+        ),
+    ),
+    network=NetworkSpec(nic_bandwidth=25e9, link_latency=1.0e-6),
+    pfs=PFSSpec(
+        n_metadata_servers=40,
+        metadata_ops_per_sec=40_000.0,
+        n_data_servers=450,
+        data_server_bandwidth=22e9,
+    ),
+)
+
+#: Small, fast constants for unit tests: round numbers, tiny latencies.
+TESTING = ClusterSpec(
+    name="testing",
+    total_nodes=16,
+    node=NodeSpec(
+        n_gpus=1,
+        n_cores=4,
+        nvme=NVMeSpec(
+            capacity_bytes=10_000_000,
+            read_bandwidth=1e9,
+            write_bandwidth=1e9,
+            read_latency=10e-6,
+            write_latency=10e-6,
+            queue_depth=4,
+            fs_open_close_latency=5e-6,
+        ),
+    ),
+    network=NetworkSpec(
+        nic_bandwidth=1e9, link_latency=1e-6, per_message_overhead=1e-6
+    ),
+    pfs=PFSSpec(
+        n_metadata_servers=2,
+        metadata_ops_per_sec=1000.0,
+        n_data_servers=4,
+        data_server_bandwidth=1e9,
+        stripe_size=1 * MiB,
+        data_latency=100e-6,
+        client_overhead=10e-6,
+    ),
+)

@@ -1,0 +1,249 @@
+"""Node-local cache management and eviction (paper §III-G).
+
+Each HVAC server instance owns a :class:`CacheManager` over (a slice
+of) its node's NVMe.  The paper's prototype evicts *randomly* when the
+dataset outgrows the aggregate node-local capacity and notes that "various
+cache-eviction and replacement policies can be considered" — we provide
+``random`` (paper default), ``lru``, ``fifo``, and ``minio`` (CoorDL's
+no-replacement policy: once full, new items are simply not cached, so the
+cached subset is stable across epochs).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..simcore import Environment, MetricRegistry
+from ..storage.localfs import LocalFS
+
+__all__ = ["CacheManager", "EvictionPolicy", "make_policy"]
+
+
+class EvictionPolicy:
+    """Victim selection strategy over the cached-file index."""
+
+    name = "abstract"
+
+    def on_insert(self, path: str) -> None:
+        raise NotImplementedError
+
+    def on_access(self, path: str) -> None:
+        raise NotImplementedError
+
+    def on_delete(self, path: str) -> None:
+        raise NotImplementedError
+
+    def victim(self) -> Optional[str]:
+        """Path to evict next, or None to refuse insertion (MinIO-style)."""
+        raise NotImplementedError
+
+
+class RandomEviction(EvictionPolicy):
+    """The HVAC prototype's policy: evict a uniformly random resident file."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._paths: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def on_insert(self, path: str) -> None:
+        self._index[path] = len(self._paths)
+        self._paths.append(path)
+
+    def on_access(self, path: str) -> None:
+        pass
+
+    def on_delete(self, path: str) -> None:
+        # Swap-remove keeps victim() O(1).
+        idx = self._index.pop(path)
+        last = self._paths.pop()
+        if last != path:
+            self._paths[idx] = last
+            self._index[last] = idx
+
+    def victim(self) -> Optional[str]:
+        if not self._paths:
+            return None
+        return self._paths[int(self._rng.integers(len(self._paths)))]
+
+
+class LRUEviction(EvictionPolicy):
+    name = "lru"
+
+    def __init__(self):
+        self._order: OrderedDict[str, None] = OrderedDict()
+
+    def on_insert(self, path: str) -> None:
+        self._order[path] = None
+
+    def on_access(self, path: str) -> None:
+        self._order.move_to_end(path)
+
+    def on_delete(self, path: str) -> None:
+        self._order.pop(path, None)
+
+    def victim(self) -> Optional[str]:
+        return next(iter(self._order), None)
+
+
+class FIFOEviction(EvictionPolicy):
+    name = "fifo"
+
+    def __init__(self):
+        self._order: OrderedDict[str, None] = OrderedDict()
+
+    def on_insert(self, path: str) -> None:
+        self._order[path] = None
+
+    def on_access(self, path: str) -> None:
+        pass
+
+    def on_delete(self, path: str) -> None:
+        self._order.pop(path, None)
+
+    def victim(self) -> Optional[str]:
+        return next(iter(self._order), None)
+
+
+class MinIOEviction(EvictionPolicy):
+    """CoorDL's MinIO: cache until full, then never replace.
+
+    Guarantees the cached fraction of the dataset is identical in every
+    epoch, trading hit rate for stability.
+    """
+
+    name = "minio"
+
+    def on_insert(self, path: str) -> None:
+        pass
+
+    def on_access(self, path: str) -> None:
+        pass
+
+    def on_delete(self, path: str) -> None:
+        pass
+
+    def victim(self) -> Optional[str]:
+        return None  # refuse: caller skips caching the new file
+
+
+def make_policy(name: str, rng: np.random.Generator) -> EvictionPolicy:
+    if name == "random":
+        return RandomEviction(rng)
+    if name == "lru":
+        return LRUEviction()
+    if name == "fifo":
+        return FIFOEviction()
+    if name == "minio":
+        return MinIOEviction()
+    raise ValueError(f"unknown eviction policy {name!r}")
+
+
+class CacheManager:
+    """Byte-budgeted cache of whole files on one server's LocalFS slice."""
+
+    def __init__(
+        self,
+        env: Environment,
+        localfs: LocalFS,
+        capacity_bytes: int,
+        policy: EvictionPolicy,
+        metrics: MetricRegistry | None = None,
+        name: str = "cache",
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.env = env
+        self.localfs = localfs
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.metrics = metrics or MetricRegistry()
+        self.name = name
+        self._sizes: dict[str, int] = {}
+        self._used = 0
+
+    # -- queries -----------------------------------------------------------
+    def contains(self, path: str) -> bool:
+        return path in self._sizes
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def n_files(self) -> int:
+        return len(self._sizes)
+
+    def touch(self, path: str) -> None:
+        """Record a cache hit for recency-tracking policies."""
+        if path in self._sizes:
+            self.policy.on_access(path)
+            self.metrics.counter(f"{self.name}.hits").incr()
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, path: str, size: int) -> Generator:
+        """Write ``path`` into the cache, evicting as needed.
+
+        Returns True if cached; False if the policy refused (MinIO when
+        full) or the file alone exceeds capacity.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if path in self._sizes:
+            self.touch(path)
+            return True
+        if size > self.capacity_bytes:
+            self.metrics.counter(f"{self.name}.uncacheable").incr()
+            return False
+        while self._used + size > self.capacity_bytes:
+            victim = self.policy.victim()
+            if victim is None:
+                self.metrics.counter(f"{self.name}.refused").incr()
+                return False
+            self._evict(victim)
+        # Bookkeeping happens eagerly, before the timed device write, so
+        # the index and device accounting can never diverge (a purge or
+        # failure mid-write still sees the reservation).
+        self.localfs.device.allocate(size)
+        self._sizes[path] = size
+        self._used += size
+        self.policy.on_insert(path)
+        self.metrics.counter(f"{self.name}.inserts").incr()
+        yield from self.localfs.device.write(size)
+        return True
+
+    def _evict(self, path: str) -> None:
+        size = self._sizes.pop(path)
+        self._used -= size
+        self.localfs.device.release(size)
+        self.policy.on_delete(path)
+        self.metrics.counter(f"{self.name}.evictions").incr()
+
+    def evict(self, path: str) -> None:
+        """Explicit eviction (tests/teardown)."""
+        if path not in self._sizes:
+            raise KeyError(path)
+        self._evict(path)
+
+    def purge(self) -> None:
+        """Drop everything — the job-end lifecycle teardown (§III-D)."""
+        for path in list(self._sizes):
+            self._evict(path)
+
+    # -- timed access --------------------------------------------------------
+    def read(self, path: str) -> Generator:
+        """Serve a cached file from the NVMe; returns its size."""
+        size = self._sizes.get(path)
+        if size is None:
+            raise KeyError(path)
+        self.touch(path)
+        # No per-read open/close: the data mover keeps cache-file
+        # descriptors open across requests (unlike the client-visible
+        # XFS path, which pays the full <open, read, close> each time).
+        yield from self.localfs.device.read(size)
+        return size

@@ -1,0 +1,205 @@
+"""The HVAC client library (paper §III-D/E/F).
+
+In the prototype this is an ``LD_PRELOAD`` interposition library that
+catches POSIX ``open/read/close`` inside the DL framework and redirects
+any path under ``HVAC_DATASET_DIR`` to the HVAC server that *homes* the
+file (determined algorithmically by hashing — no metadata service).
+
+Here the client is a :class:`~repro.storage.base.FileBackend`, so the
+virtual-POSIX interposer (and the DL data loader) can treat it exactly
+like GPFS or a local filesystem.  Costs charged per intercepted call
+come from :attr:`HVACSpec.client_request_overhead`.
+
+Failover (§III-H, implemented as the paper's proposed extension): when
+the homed server is unreachable, the client walks the replica list; with
+``replication_factor == 1`` there is no replica, and the client falls
+back to reading the PFS directly — a failed NVMe degrades performance
+instead of failing the training run.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..cluster.specs import ClusterSpec
+from ..rpc import RPCEndpoint, RPCError
+from ..simcore import AllOf, Environment, MetricRegistry, stable_hash64
+from ..storage.base import FileBackend, OpenFile
+from .hashing import Placement
+from .server import HVACServer
+
+__all__ = ["HVACClient"]
+
+
+class HVACClient(FileBackend):
+    """One process's view of the HVAC cache (client side)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        servers: list[HVACServer],
+        placement: Placement,
+        pfs: FileBackend,
+        spec: ClusterSpec,
+        metrics: MetricRegistry | None = None,
+        spread_replica_reads: bool = True,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.servers = servers
+        self.placement = placement
+        self.pfs = pfs
+        self.spec = spec
+        self.metrics = metrics or MetricRegistry()
+        self.spread_replica_reads = spread_replica_reads
+        # The client endpoint shares the node's fabric ports.
+        fabric = servers[0].endpoint.fabric
+        self.endpoint = RPCEndpoint(env, fabric, node_id, name=f"hvac-c@n{node_id}")
+
+    # -- redirection -------------------------------------------------------
+    def replica_order(self, path: str) -> list[int]:
+        """Server ids to try for ``path``, preferred first."""
+        replicas = self.placement.replicas(path, client=self.node_id)
+        if len(replicas) <= 1:
+            return replicas
+        rack_of = getattr(self.placement, "rack_of", None)
+        if self.spec.hvac.topology_aware and rack_of is not None:
+            # Topology preference: replicas in this client's rack first
+            # (keeps reads off oversubscribed rack uplinks); ties keep
+            # placement order so failover stays deterministic.
+            rack_size = max(1, self.spec.network.rack_size)
+            my_rack = self.node_id // rack_size
+            replicas = sorted(
+                replicas, key=lambda sid: 0 if rack_of(sid) == my_rack else 1
+            )
+        elif self.spread_replica_reads:
+            # Distribute read load across the replica set: stable per
+            # (client, path) so an epoch's access pattern is deterministic.
+            start = stable_hash64("hvac-spread", self.node_id, path) % len(replicas)
+            replicas = replicas[start:] + replicas[:start]
+        return replicas
+
+    def _alive_server(self, path: str) -> Optional[HVACServer]:
+        order = self.replica_order(path)
+        if not self.spec.hvac.failover_enabled:
+            server = self.servers[order[0]]
+            return server if server.alive else None
+        for sid in order:
+            if self.servers[sid].alive:
+                return self.servers[sid]
+        return None
+
+    # -- FileBackend (the three intercepted calls) ----------------------------
+    def open(self, path: str, size: int, client_node: int) -> Generator:
+        """Intercepted ``open``: start tracking; no server round-trip yet.
+
+        The prototype begins tracking on open and issues the actual
+        forwarding on the first read — opens must stay cheap because DL
+        frameworks stat/open aggressively.
+        """
+        yield self.env.timeout(self.spec.hvac.client_request_overhead)
+        self.metrics.counter("hvac.client_opens").incr()
+        return OpenFile(path=path, size=size, backend=self, client_node=client_node)
+
+    def read(self, handle: OpenFile, nbytes: int) -> Generator:
+        """Intercepted ``read``: forward to the homing server + bulk pull.
+
+        Files above the configured stripe threshold (when
+        ``stripe_large_files`` is on) are fetched as independent
+        segments from multiple servers in parallel — the segment-level
+        layout the paper proposes for skewed file sizes (§III-E).
+        """
+        if handle.closed:
+            raise ValueError(f"read on closed handle {handle.path}")
+        nbytes = min(nbytes, handle.size - handle.offset)
+        if nbytes <= 0:
+            return 0
+        yield self.env.timeout(self.spec.hvac.client_request_overhead)
+
+        hvac = self.spec.hvac
+        if hvac.stripe_large_files and handle.size > hvac.stripe_threshold:
+            yield from self._read_striped(handle)
+        else:
+            hit = yield from self._forward_read(
+                handle.path, handle.size, handle.client_node
+            )
+            if hit is not None:
+                self.metrics.counter(
+                    "hvac.client_hits" if hit else "hvac.client_misses"
+                ).incr()
+        handle.offset += nbytes
+        return nbytes
+
+    def _forward_read(self, path: str, size: int, client_node: int) -> Generator:
+        """One forwarded read transaction (whole file or one segment).
+
+        Returns the server's hit flag, or None when served by PFS
+        fallback.  Retries through replicas on server death.
+        """
+        server = self._alive_server(path)
+        if server is None:
+            # Total cache failure for this file: degrade to direct PFS.
+            self.metrics.counter("hvac.client_pfs_fallback").incr()
+            yield from self.pfs.read_file(path, size, client_node)
+            return None
+        try:
+            # The server replies after its data mover has the bytes and
+            # bulk-pushes them here.
+            hit = yield from self.endpoint.call(
+                server.endpoint,
+                "read",
+                payload=(path, size),
+                payload_bytes=len(path) + 16,
+            )
+        except RPCError:
+            self.metrics.counter("hvac.client_rpc_failures").incr()
+            # Server died mid-call: retry via failover path (or PFS).
+            return (yield from self._forward_read(path, size, client_node))
+        return hit
+
+    def _read_striped(self, handle: OpenFile) -> Generator:
+        """Fetch a large file as parallel segments from their homes."""
+        hvac = self.spec.hvac
+        seg = hvac.stripe_segment
+        fetches = []
+        offset = 0
+        index = 0
+        while offset < handle.size:
+            length = min(seg, handle.size - offset)
+            seg_path = f"{handle.path}#seg{index}"
+            fetches.append(
+                self.env.process(
+                    self._forward_read(seg_path, length, handle.client_node),
+                    name="hvac.seg",
+                )
+            )
+            offset += length
+            index += 1
+        results = yield AllOf(self.env, fetches)
+        hits = [v for v in results.values()]
+        self.metrics.counter("hvac.client_striped_reads").incr()
+        if all(h for h in hits):
+            self.metrics.counter("hvac.client_hits").incr()
+        else:
+            self.metrics.counter("hvac.client_misses").incr()
+
+    def close(self, handle: OpenFile) -> Generator:
+        """Intercepted ``close``: out-of-band teardown RPC (fire & forget)."""
+        if handle.closed:
+            raise ValueError(f"double close of {handle.path}")
+        handle.closed = True
+        yield self.env.timeout(self.spec.hvac.client_request_overhead)
+        server = self._alive_server(handle.path)
+        if server is not None:
+            # Out-of-band: the client does not wait for the ack.
+            self.env.process(
+                self._oob_close(server, handle.path), name="hvac.oob_close"
+            )
+        self.metrics.counter("hvac.client_closes").incr()
+
+    def _oob_close(self, server: HVACServer, path: str) -> Generator:
+        try:
+            yield from self.endpoint.call(server.endpoint, "close", payload=path)
+        except RPCError:
+            pass  # teardown of a dying server is best-effort

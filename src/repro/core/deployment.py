@@ -1,0 +1,188 @@
+"""HVAC deployment over a job allocation (paper §III-C).
+
+On Summit, ``alloc_flags "hvac"`` in the job script initializes the
+NVMe on every allocated node and spawns the HVAC server processes; the
+cache lives exactly as long as the job.  :class:`HVACDeployment` is that
+step: it builds ``instances_per_node`` servers on each node of an
+:class:`~repro.cluster.Allocation`, shares each node's XFS among its
+instances (with per-instance capacity budgets), constructs the placement
+function every client will use, and hands out per-node clients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.node import Allocation
+from ..simcore import MetricRegistry, RandomStreams
+from ..storage.base import FileBackend
+from ..storage.localfs import LocalFS
+from .client import HVACClient
+from .hashing import (
+    LocalityPlacement,
+    Placement,
+    TopologyAwarePlacement,
+    make_placement,
+)
+from .server import HVACServer
+
+__all__ = ["HVACDeployment"]
+
+
+class HVACDeployment:
+    """All HVAC state for one job: servers, placement, clients."""
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        pfs: FileBackend,
+        seed: int = 0,
+        metrics: MetricRegistry | None = None,
+        placement: Optional[Placement] = None,
+    ):
+        self.allocation = allocation
+        self.env = allocation.env
+        self.spec = allocation.spec
+        self.pfs = pfs
+        self.metrics = metrics or allocation.metrics
+        hvac = self.spec.hvac
+        self.instances_per_node = hvac.instances_per_node
+        n_servers = allocation.n_nodes * hvac.instances_per_node
+
+        if placement is None:
+            repl = min(hvac.replication_factor, n_servers)
+            placement = make_placement(
+                hvac.hash_scheme,
+                n_servers,
+                replication_factor=repl,
+                vnodes=hvac.consistent_vnodes,
+            )
+            if hvac.topology_aware:
+                rack_size = self.spec.network.rack_size
+                if rack_size < 1:
+                    raise ValueError(
+                        "topology_aware HVAC requires NetworkSpec.rack_size >= 1"
+                    )
+                placement = TopologyAwarePlacement(
+                    placement,
+                    servers_per_node=hvac.instances_per_node,
+                    rack_size=rack_size,
+                    replication_factor=max(repl, 2),
+                )
+        elif placement.n_servers != n_servers:
+            raise ValueError(
+                f"placement covers {placement.n_servers} servers, "
+                f"deployment has {n_servers}"
+            )
+        self.placement = placement
+
+        rand = RandomStreams(seed)
+        self.localfs: list[LocalFS] = []
+        self.servers: list[HVACServer] = []
+        per_instance_capacity = int(
+            hvac.cache_fraction
+            * self.spec.node.nvme.capacity_bytes
+            / hvac.instances_per_node
+        )
+        for node in allocation:
+            fs = LocalFS(
+                self.env,
+                node.node_id,
+                node.nvme,
+                metrics=self.metrics,
+                track_namespace=False,
+            )
+            self.localfs.append(fs)
+            for inst in range(hvac.instances_per_node):
+                server_id = len(self.servers)
+                self.servers.append(
+                    HVACServer(
+                        self.env,
+                        server_id=server_id,
+                        node_id=node.node_id,
+                        instance_index=inst,
+                        localfs=fs,
+                        pfs=pfs,
+                        fabric=allocation.fabric,
+                        spec=self.spec,
+                        cache_capacity=per_instance_capacity,
+                        rng=rand.child(f"server{server_id}").stream("evict"),
+                        metrics=self.metrics,
+                    )
+                )
+        self._clients: dict[int, HVACClient] = {}
+
+    # -- addressing ---------------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    def servers_on_node(self, node_id: int) -> list[HVACServer]:
+        base = node_id * self.instances_per_node
+        return self.servers[base : base + self.instances_per_node]
+
+    def client(self, node_id: int) -> HVACClient:
+        """The (cached, per-node) HVAC client for processes on ``node_id``."""
+        cli = self._clients.get(node_id)
+        if cli is None:
+            cli = HVACClient(
+                self.env,
+                node_id,
+                self.servers,
+                self.placement,
+                self.pfs,
+                self.spec,
+                metrics=self.metrics,
+            )
+            self._clients[node_id] = cli
+        return cli
+
+    @classmethod
+    def with_locality_split(
+        cls,
+        allocation: Allocation,
+        pfs: FileBackend,
+        local_fraction: float,
+        seed: int = 0,
+    ) -> "HVACDeployment":
+        """A deployment whose placement pins ``local_fraction`` of files
+        to the reading node — the Fig 13 manual L%/R% control."""
+        hvac = allocation.spec.hvac
+        n_servers = allocation.n_nodes * hvac.instances_per_node
+        placement = LocalityPlacement(
+            n_servers,
+            servers_per_node=hvac.instances_per_node,
+            local_fraction=local_fraction,
+            replication_factor=min(hvac.replication_factor, n_servers),
+        )
+        return cls(allocation, pfs, seed=seed, placement=placement)
+
+    # -- lifecycle ----------------------------------------------------------
+    def teardown(self) -> None:
+        """Job end: purge caches, stop servers (cache dies with the job)."""
+        for server in self.servers:
+            server.teardown()
+
+    def fail_node(self, node_id: int) -> None:
+        """Fail every server instance on a node (NVMe loss, §III-H)."""
+        for server in self.servers_on_node(node_id):
+            server.fail()
+
+    def recover_node(self, node_id: int) -> None:
+        for server in self.servers_on_node(node_id):
+            server.recover()
+
+    # -- aggregate stats ------------------------------------------------------
+    @property
+    def total_cached_bytes(self) -> int:
+        return sum(s.cache.used_bytes for s in self.servers)
+
+    @property
+    def total_cached_files(self) -> int:
+        return sum(s.cache.n_files for s in self.servers)
+
+    def hit_rate(self) -> float:
+        hits = self.metrics.counter("hvac.cache_hits").value
+        misses = self.metrics.counter("hvac.cache_misses").value
+        total = hits + misses
+        return hits / total if total else 0.0

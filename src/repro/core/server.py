@@ -1,0 +1,237 @@
+"""The HVAC server process (paper §III-C/D).
+
+Each server instance:
+
+* exposes a Mercury-like RPC endpoint on its compute node;
+* owns a *shared FIFO queue* of forwarded file I/O operations, drained
+  by a dedicated **data-mover thread** (one per instance — the paper's
+  serialization point, and the reason multiple instances per node reduce
+  overhead, Fig 9b);
+* on a miss, copies the file from the PFS to node-local storage
+  (``fs::copy(src, dst)`` in the prototype) and then serves it; on a
+  hit, reads node-local NVMe directly, bypassing the PFS;
+* deduplicates concurrent first-reads of the same file (the prototype's
+  mutex on the shared queue that "avoids repeated copying").
+
+Servers never talk to each other — each is "effectively unaware" of its
+peers; all coordination is the client-side hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from ..cluster import Fabric
+from ..cluster.specs import ClusterSpec
+from ..rpc import RPCEndpoint
+from ..simcore import AllOf, Environment, Event, MetricRegistry, Resource, Store
+from ..storage.base import FileBackend
+from ..storage.localfs import LocalFS
+from .cache import CacheManager, make_policy
+
+__all__ = ["HVACServer", "ReadRequest"]
+
+
+@dataclass
+class ReadRequest:
+    """One forwarded <open, read> destined for this server's data mover."""
+
+    path: str
+    size: int
+    client_node: int
+    done: Event = field(repr=False, default=None)  # type: ignore[assignment]
+    #: filled by the mover: was this served from cache?
+    hit: bool = False
+    #: for hits: the in-progress NVMe read the responder overlaps with
+    #: its bulk transfer (Mercury pipelines chunks, so device read and
+    #: wire transfer proceed concurrently)
+    read_proc: object = field(repr=False, default=None)
+
+
+class HVACServer:
+    """One HVAC server instance on one compute node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        node_id: int,
+        instance_index: int,
+        localfs: LocalFS,
+        pfs: FileBackend,
+        fabric: Fabric,
+        spec: ClusterSpec,
+        cache_capacity: int,
+        rng: np.random.Generator,
+        metrics: MetricRegistry | None = None,
+    ):
+        self.env = env
+        self.server_id = server_id
+        self.node_id = node_id
+        self.instance_index = instance_index
+        self.pfs = pfs
+        self.spec = spec
+        self.metrics = metrics or MetricRegistry()
+        self.endpoint = RPCEndpoint(
+            env, fabric, node_id, name=f"hvac-s{server_id}@n{node_id}"
+        )
+        self.cache = CacheManager(
+            env,
+            localfs,
+            capacity_bytes=cache_capacity,
+            policy=make_policy(spec.hvac.eviction_policy, rng),
+            metrics=self.metrics,
+            name=f"hvac{server_id}.cache",
+        )
+        # The dedicated data-mover thread: a serial dispatch resource.
+        self._mover = Resource(env, capacity=1)
+        # Async copy slots the mover can keep in flight against PFS/NVMe.
+        self._copy_slots = Resource(env, capacity=spec.hvac.data_mover_concurrency)
+        # Shared FIFO queue of forwarded operations.
+        self.queue: Store = Store(env)
+        # In-flight fetch dedup: path -> completion event ("mutex" in the paper).
+        self._inflight: dict[str, Event] = {}
+        self._failed = False
+        self.endpoint.register("read", self._handle_read)
+        self.endpoint.register("close", self._handle_close)
+        self._drainer = env.process(self._drain(), name=f"hvac{server_id}.mover")
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._failed
+
+    def fail(self) -> None:
+        """Simulate node-local NVMe / server-process failure (§III-H)."""
+        self._failed = True
+        self.endpoint.shutdown()
+
+    def recover(self) -> None:
+        """Restart after failure with a cold cache."""
+        self.cache.purge()
+        self._failed = False
+        self.endpoint.restart()
+
+    def teardown(self) -> None:
+        """Job-end lifecycle: purge the cached dataset from node-local storage."""
+        self.cache.purge()
+        self.endpoint.shutdown()
+        self._failed = True  # a torn-down server serves nothing
+
+    # -- RPC handlers ----------------------------------------------------
+    def _handle_read(self, payload: tuple, src: int) -> Generator:
+        """Enqueue on the shared FIFO; wait for the data mover; bulk-push."""
+        path, size = payload
+        req = ReadRequest(path=path, size=size, client_node=src, done=self.env.event())
+        yield self.queue.put(req)
+        yield req.done
+        # Bulk transfer of the file contents to the requesting client.
+        # Mercury moves the buffer in pipelined chunks, so for cache
+        # hits the NVMe read and the wire transfer overlap.
+        bulk = self.env.process(
+            self._bulk_to(src, size), name=f"hvac{self.server_id}.bulk"
+        )
+        waits = [bulk]
+        if req.read_proc is not None:
+            waits.append(req.read_proc)
+        yield AllOf(self.env, waits)
+        self.metrics.counter("hvac.bytes_served").incr(size)
+        return req.hit
+
+    def _bulk_to(self, dst: int, size: int) -> Generator:
+        yield from self.endpoint.bulk_push(dst, size)
+
+    def _handle_close(self, payload: str, src: int) -> Generator:
+        """Out-of-band teardown signal for a finished file (step ⑧)."""
+        yield self.env.timeout(2e-6)
+        self.metrics.counter("hvac.closes").incr()
+        return None
+
+    # -- data mover -------------------------------------------------------
+    def _drain(self) -> Generator:
+        """The dedicated data-mover thread's main loop."""
+        overhead = self.spec.hvac.server_request_overhead
+        while True:
+            req: ReadRequest = yield self.queue.get()
+            # Serial dispatch cost — the instance's software path length.
+            with self._mover.request() as slot:
+                yield slot
+                yield self.env.timeout(overhead)
+            # Service proceeds asynchronously; the mover loops for the
+            # next request immediately (async copy engine).
+            self.env.process(
+                self._service(req), name=f"hvac{self.server_id}.svc"
+            )
+
+    def _serve_hit(self, req: ReadRequest) -> Generator:
+        """Start the NVMe read and release the responder immediately —
+        the read handle rides along in ``req.read_proc`` so the bulk
+        transfer overlaps with it (pipelined chunks)."""
+        req.hit = True
+        self.metrics.counter("hvac.cache_hits").incr()
+        with self._copy_slots.request() as cslot:
+            yield cslot
+            req.read_proc = self.env.process(
+                self.cache.read(req.path), name=f"hvac{self.server_id}.nvme"
+            )
+            req.done.succeed()
+            yield req.read_proc
+
+    def _service(self, req: ReadRequest) -> Generator:
+        try:
+            if self.cache.contains(req.path):
+                yield from self._serve_hit(req)
+                return
+
+            self.metrics.counter("hvac.cache_misses").incr()
+            pending = self._inflight.get(req.path)
+            if pending is not None:
+                # Another client is already copying this file in: wait on
+                # its completion instead of re-fetching (shared-queue mutex).
+                self.metrics.counter("hvac.dedup_waits").incr()
+                yield pending
+                if self.cache.contains(req.path):
+                    yield from self._serve_hit(req)
+                    return
+                # Fetch completed but was refused by the cache policy:
+                # fall through to PFS passthrough.
+                yield from self._passthrough(req)
+                return
+
+            fetch_done = self.env.event()
+            self._inflight[req.path] = fetch_done
+            try:
+                with self._copy_slots.request() as cslot:
+                    yield cslot
+                    # PFS → memory buffer, issued from this server's node.
+                    yield from self.pfs.read_file(req.path, req.size, self.node_id)
+                # First read serves straight from the fetched buffer; the
+                # fs::copy to node-local storage completes asynchronously
+                # (the NVMe write is off the serve path but still
+                # occupies the device).
+                req.done.succeed()
+                yield from self.cache.insert(req.path, req.size)
+            finally:
+                del self._inflight[req.path]
+                fetch_done.succeed()
+        except Exception as err:  # noqa: BLE001 — propagate to the RPC caller
+            if not req.done.triggered:
+                req.done.fail(err)
+            else:
+                raise
+
+    def _passthrough(self, req: ReadRequest) -> Generator:
+        """Serve from PFS without caching (file refused by policy/capacity)."""
+        self.metrics.counter("hvac.passthrough").incr()
+        with self._copy_slots.request() as cslot:
+            yield cslot
+            yield from self.pfs.read_file(req.path, req.size, self.node_id)
+        req.done.succeed()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)

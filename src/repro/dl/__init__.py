@@ -1,0 +1,39 @@
+"""DL workload models: datasets, model costs, loaders, training, accuracy."""
+
+from .accuracy import AccuracyCurve, ClassificationTask, SGDTrainer, sharded_orders
+from .dataset import (
+    COSMOUNIVERSE,
+    DEEPCAM_CLIMATE,
+    IMAGENET21K,
+    OPENIMAGES,
+    DatasetSpec,
+    SyntheticDataset,
+)
+from .loader import EpochPlan, Shard, make_epoch_plan
+from .models import ALL_MODELS, COSMOFLOW, DEEPCAM, RESNET50, TRESNET_M, ModelSpec
+from .training import TrainingConfig, TrainingJob, TrainingResult
+
+__all__ = [
+    "AccuracyCurve",
+    "ALL_MODELS",
+    "ClassificationTask",
+    "COSMOFLOW",
+    "COSMOUNIVERSE",
+    "DatasetSpec",
+    "DEEPCAM",
+    "DEEPCAM_CLIMATE",
+    "EpochPlan",
+    "IMAGENET21K",
+    "make_epoch_plan",
+    "ModelSpec",
+    "OPENIMAGES",
+    "RESNET50",
+    "SGDTrainer",
+    "Shard",
+    "sharded_orders",
+    "SyntheticDataset",
+    "TrainingConfig",
+    "TrainingJob",
+    "TrainingResult",
+    "TRESNET_M",
+]

@@ -1,0 +1,112 @@
+"""DNN model cost specifications (paper §IV-A2).
+
+The four applications evaluated on Summit.  For the I/O study, a model
+is characterized by what it costs *between* reads:
+
+* per-sample forward+backward GPU time (V100-class throughput), and
+* the gradient volume all-reduced each iteration (data-parallel SGD
+  with Horovod: ring allreduce after every batch).
+
+Parameter counts follow the paper where it states them (ResNet50:
+25.6 M; CosmoFlow: "more than 51 K") and MLPerf-HPC reference
+implementations otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ModelSpec",
+    "RESNET50",
+    "TRESNET_M",
+    "COSMOFLOW",
+    "DEEPCAM",
+    "ALL_MODELS",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Compute/communication cost model for one DNN."""
+
+    name: str
+    n_parameters: int
+    #: forward+backward throughput of ONE V100 GPU, samples/second
+    samples_per_sec_per_gpu: float
+    #: the per-GPU batch size used in the paper's figures
+    default_batch_size: int
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Bytes all-reduced per iteration (fp32 gradients)."""
+        return 4 * self.n_parameters
+
+    def compute_time(self, batch_size: int) -> float:
+        """Seconds of GPU compute for one local batch."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return batch_size / self.samples_per_sec_per_gpu
+
+    def allreduce_time(
+        self,
+        n_ranks: int,
+        nic_bandwidth: float,
+        link_latency: float = 1.5e-6,
+    ) -> float:
+        """Allreduce time across ``n_ranks`` data-parallel workers.
+
+        Bandwidth term is the ring bound ``2 (p-1)/p · bytes / bw``;
+        the latency term uses hierarchical (tree) step counts
+        ``2 log2(p)``, matching how NCCL/Horovod compose intra-node
+        rings with inter-node trees — a pure ring's ``2(p-1)`` latency
+        steps would dominate unrealistically at thousands of ranks.
+        """
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if n_ranks == 1:
+            return 0.0
+        import math
+
+        p = n_ranks
+        bw_term = 2 * (p - 1) / p * self.gradient_bytes / nic_bandwidth
+        lat_term = 2 * math.log2(p) * link_latency
+        return bw_term + lat_term
+
+
+#: ResNet50 — "a large network with 228 layers and 25.6M parameters".
+RESNET50 = ModelSpec(
+    name="resnet50",
+    n_parameters=25_600_000,
+    samples_per_sec_per_gpu=360.0,
+    default_batch_size=80,
+)
+
+#: TResNet_M — GPU-optimized ResNet variant; higher V100 throughput.
+TRESNET_M = ModelSpec(
+    name="tresnet_m",
+    n_parameters=31_400_000,
+    samples_per_sec_per_gpu=520.0,
+    default_batch_size=80,
+)
+
+#: CosmoFlow — 3D CNN on cosmology volumes; tiny parameter count per the
+#: paper ("more than 51K parameters"), compute-heavy 3D convolutions.
+COSMOFLOW = ModelSpec(
+    name="cosmoflow",
+    n_parameters=51_000,
+    samples_per_sec_per_gpu=80.0,
+    default_batch_size=4,
+)
+
+#: DeepCAM — climate segmentation on 768×1152×16 images (Gordon Bell 2018).
+#: Throughput calibrated so aggregate read demand exceeds the PFS
+#: bandwidth ceiling at the paper's largest scale (Fig 8d's divergence).
+DEEPCAM = ModelSpec(
+    name="deepcam",
+    n_parameters=56_000_000,
+    samples_per_sec_per_gpu=36.0,
+    default_batch_size=2,
+)
+
+ALL_MODELS = {m.name: m for m in (RESNET50, TRESNET_M, COSMOFLOW, DEEPCAM)}

@@ -1,0 +1,58 @@
+"""Per-figure experiment drivers (one module per paper figure)."""
+
+from .accuracy_exp import AccuracyComparison, accuracy_comparison
+from .batch import BatchSizeResult, batch_size_scaling
+from .cache_split import CacheSplitResult, cache_split
+from .epochs import (
+    EpochScalingResult,
+    PerEpochResult,
+    epoch_scaling,
+    per_epoch_analysis,
+)
+from .harness import Scale, repeat_training, resolve_setup, run_training
+from .load_balance import LoadBalanceResult, load_balance
+from .report import generate_report
+from .mdtest_exp import (
+    LARGE_FILE,
+    SMALL_FILE,
+    MDTestScalingResult,
+    mdtest_scaling,
+    mdtest_scaling_analytic,
+)
+from .scaling import (
+    NodeScalingResult,
+    node_scaling,
+    node_scaling_analytic,
+    normalized_to_gpfs,
+    overhead_vs_xfs,
+)
+
+__all__ = [
+    "AccuracyComparison",
+    "accuracy_comparison",
+    "batch_size_scaling",
+    "BatchSizeResult",
+    "cache_split",
+    "CacheSplitResult",
+    "epoch_scaling",
+    "EpochScalingResult",
+    "LARGE_FILE",
+    "load_balance",
+    "LoadBalanceResult",
+    "mdtest_scaling",
+    "mdtest_scaling_analytic",
+    "MDTestScalingResult",
+    "node_scaling",
+    "node_scaling_analytic",
+    "NodeScalingResult",
+    "normalized_to_gpfs",
+    "overhead_vs_xfs",
+    "per_epoch_analysis",
+    "PerEpochResult",
+    "generate_report",
+    "repeat_training",
+    "resolve_setup",
+    "run_training",
+    "Scale",
+    "SMALL_FILE",
+]

@@ -1,0 +1,5 @@
+"""Closed-form analytic performance model (cross-check for the DES)."""
+
+from .analytic import AnalyticModel, EpochPrediction
+
+__all__ = ["AnalyticModel", "EpochPrediction"]

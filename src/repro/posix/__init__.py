@@ -1,0 +1,21 @@
+"""Virtual POSIX layer, LD_PRELOAD-style interposition, I/O tracing."""
+
+from .interpose import Interposition, interpose_view, unload
+from .replay import ReplayResult, replay_trace
+from .tracing import TraceLog, TraceRecord, TracingBackend
+from .vfs import MountTable, Namespace, PosixError, ProcessView
+
+__all__ = [
+    "Interposition",
+    "interpose_view",
+    "MountTable",
+    "Namespace",
+    "PosixError",
+    "ProcessView",
+    "replay_trace",
+    "ReplayResult",
+    "TraceLog",
+    "TraceRecord",
+    "TracingBackend",
+    "unload",
+]

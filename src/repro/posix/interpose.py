@@ -1,0 +1,71 @@
+"""The ``LD_PRELOAD`` interposition shim (paper §III-F).
+
+HVAC's portability story: set two environment variables —
+
+* ``LD_PRELOAD=libhvac_client.so``
+* ``HVAC_DATASET_DIR=/gpfs/.../dataset``
+
+— and every ``open/read/close`` the DL framework issues under the
+dataset directory is transparently redirected to the HVAC client, while
+all other I/O passes through untouched.  No application or file-system
+change.
+
+:class:`Interposition` reproduces that contract over the virtual POSIX
+layer: it installs a redirect hook on a :class:`ProcessView` that
+matches the dataset prefix and hands matching calls to that node's
+:class:`~repro.core.client.HVACClient`.  ``preload`` / ``unload`` model
+setting and clearing ``LD_PRELOAD`` for a process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.client import HVACClient
+from ..storage.base import FileBackend
+from .vfs import ProcessView
+
+__all__ = ["Interposition", "interpose_view", "unload"]
+
+
+class Interposition:
+    """One process's preloaded HVAC client shim."""
+
+    def __init__(self, dataset_dir: str, client: HVACClient):
+        if not dataset_dir.startswith("/"):
+            raise ValueError("HVAC_DATASET_DIR must be absolute")
+        self.dataset_dir = dataset_dir.rstrip("/")
+        self.client = client
+        self.intercepted_calls = 0
+        self.passthrough_calls = 0
+
+    def matches(self, path: str) -> bool:
+        return path == self.dataset_dir or path.startswith(self.dataset_dir + "/")
+
+    def __call__(self, path: str) -> Optional[FileBackend]:
+        """The redirect hook: HVAC client for dataset paths, else None."""
+        if self.matches(path):
+            self.intercepted_calls += 1
+            return self.client
+        self.passthrough_calls += 1
+        return None
+
+
+def interpose_view(
+    view: ProcessView, dataset_dir: str, client: HVACClient
+) -> Interposition:
+    """Preload the shim into a process (sets the redirect hook).
+
+    Raises if another shim is already preloaded — stacking interposers
+    is exactly the kind of LD_PRELOAD fragility HVAC avoids relying on.
+    """
+    if view.redirect is not None:
+        raise RuntimeError("process already has an interposition library loaded")
+    shim = Interposition(dataset_dir, client)
+    view.redirect = shim
+    return shim
+
+
+def unload(view: ProcessView) -> None:
+    """Clear the shim (unset LD_PRELOAD for subsequent calls)."""
+    view.redirect = None

@@ -1,0 +1,190 @@
+"""Mercury-like RPC over the simulated fabric (paper §III-C).
+
+HVAC uses the Mercury communication library for RPC and bulk transfers
+over Infiniband.  This module reproduces the two primitives HVAC needs:
+
+* **RPC**: a named operation with small request/response payloads.  The
+  caller's generator blocks until the registered handler (a generator
+  run inside the callee's environment) returns.
+* **Bulk transfer**: an RDMA-style pull of a large buffer between two
+  nodes, initiated out-of-band from the RPC (Mercury's
+  ``HG_Bulk_transfer``), paying a one-time registration/setup cost and
+  then streaming at fabric bandwidth.
+
+Handlers execute with unbounded concurrency at the endpoint; real
+serialization points (NVMe queue depth, HVAC server software overhead)
+are modelled by the resources the handler itself acquires, which mirrors
+how a Mercury progress loop hands work to server threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..cluster import Fabric
+from ..simcore import Environment, Event, SimulationError
+
+__all__ = ["RPCEndpoint", "RPCError", "RPCTimeout", "BulkHandle"]
+
+#: wire size of an RPC header (op id, cookies, bulk descriptors)
+_HEADER_BYTES = 192
+#: Mercury software cost to set up / tear down one bulk descriptor
+_BULK_SETUP = 2.0e-6
+
+
+class RPCError(Exception):
+    """Remote handler raised, or endpoint is down."""
+
+
+class RPCTimeout(RPCError):
+    """The call did not complete within the caller's deadline."""
+
+
+@dataclass(frozen=True)
+class BulkHandle:
+    """Descriptor for an exposed remote buffer (RDMA registration)."""
+
+    node_id: int
+    nbytes: int
+
+
+@dataclass
+class _Call:
+    op: str
+    payload: Any
+    payload_bytes: int
+    reply: Event = field(repr=False, default=None)  # type: ignore[assignment]
+    src: int = 0
+
+
+class RPCEndpoint:
+    """One addressable RPC endpoint pinned to a node.
+
+    Multiple endpoints per node are allowed — that is exactly how
+    HVAC(i×1) runs ``i`` server instances on one compute node.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        node_id: int,
+        name: str = "",
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.node_id = node_id
+        self.name = name or f"ep@{node_id}"
+        self._handlers: dict[str, Callable[..., Generator]] = {}
+        self._alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self._alive else "DOWN"
+        return f"<RPCEndpoint {self.name} node={self.node_id} {state}>"
+
+    # -- server side ---------------------------------------------------
+    def register(self, op: str, handler: Callable[..., Generator]) -> None:
+        """Register ``handler(payload, src_node) -> generator`` for ``op``.
+
+        The generator's return value becomes the RPC response.
+        """
+        if op in self._handlers:
+            raise SimulationError(f"handler for {op!r} already registered on {self.name}")
+        self._handlers[op] = handler
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def shutdown(self) -> None:
+        """Kill the endpoint: all subsequent calls to it fail (§III-H failure model)."""
+        self._alive = False
+
+    def restart(self) -> None:
+        self._alive = True
+
+    # -- client side -----------------------------------------------------
+    def call(
+        self,
+        target: "RPCEndpoint",
+        op: str,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        response_bytes: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Generator:
+        """Invoke ``op`` on ``target``; yields until the response arrives.
+
+        Returns the handler's return value.  Raises :class:`RPCError` if
+        the target is down or the handler raises; :class:`RPCTimeout` on
+        deadline expiry (the in-flight handler is abandoned, as Mercury
+        does on ``HG_Cancel``).
+        """
+        if not target._alive:
+            raise RPCError(f"endpoint {target.name} is down")
+        env = self.env
+
+        # Request header (+ inline payload) crosses the wire.
+        yield from self.fabric.transfer(
+            self.node_id, target.node_id, _HEADER_BYTES + payload_bytes
+        )
+        if not target._alive:
+            raise RPCError(f"endpoint {target.name} died mid-call")
+
+        done = env.event()
+        env.process(
+            target._serve(op, payload, self.node_id, response_bytes, done),
+            name=f"{target.name}.{op}",
+        )
+        if timeout is None:
+            outcome = yield done
+        else:
+            expiry = env.timeout(timeout)
+            result = yield done | expiry
+            if done not in result:
+                raise RPCTimeout(f"{op} on {target.name} after {timeout}s")
+            outcome = result[done]
+        ok, value = outcome
+        if not ok:
+            raise RPCError(f"{op} on {target.name} failed: {value!r}") from value
+        return value
+
+    def _serve(
+        self,
+        op: str,
+        payload: Any,
+        src: int,
+        response_bytes: int,
+        done: Event,
+    ) -> Generator:
+        handler = self._handlers.get(op)
+        if handler is None:
+            done.succeed((False, SimulationError(f"no handler for {op!r} on {self.name}")))
+            return
+        try:
+            value = yield self.env.process(
+                handler(payload, src), name=f"{self.name}.{op}.h"
+            )
+        except Exception as err:  # noqa: BLE001 — relayed to caller
+            done.succeed((False, err))
+            return
+        if not self._alive:
+            # Died while serving: response is lost.
+            done.succeed((False, RPCError(f"endpoint {self.name} died")))
+            return
+        yield from self.fabric.transfer(
+            self.node_id, src, _HEADER_BYTES + response_bytes
+        )
+        done.succeed((True, value))
+
+    # -- bulk ------------------------------------------------------------
+    def bulk_pull(self, handle: BulkHandle) -> Generator:
+        """RDMA-read the remote buffer described by ``handle`` to here."""
+        yield self.env.timeout(_BULK_SETUP)
+        yield from self.fabric.transfer(handle.node_id, self.node_id, handle.nbytes)
+
+    def bulk_push(self, dst_node: int, nbytes: int) -> Generator:
+        """RDMA-write ``nbytes`` from here into an exposed buffer on ``dst_node``."""
+        yield self.env.timeout(_BULK_SETUP)
+        yield from self.fabric.transfer(self.node_id, dst_node, nbytes)

@@ -1,0 +1,12 @@
+"""Real-file HVAC runtime: threads as servers, directories as NVMe."""
+
+from .client import RuntimeClient, RuntimeDeployment, interposed_open
+from .server import RuntimeServer, ServerStats
+
+__all__ = [
+    "interposed_open",
+    "RuntimeClient",
+    "RuntimeDeployment",
+    "RuntimeServer",
+    "ServerStats",
+]

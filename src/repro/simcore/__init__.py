@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation kernel (SimPy-like, from scratch)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopProcess,
+    Timeout,
+)
+from .monitor import Counter, MetricRegistry, Series, Tally
+from .rand import RandomStreams, stable_hash64
+from .resources import Container, PriorityResource, Resource
+from .stores import FilterStore, PriorityStore, Store, StoreFull
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Counter",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "MetricRegistry",
+    "PriorityResource",
+    "PriorityStore",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Series",
+    "SimulationError",
+    "stable_hash64",
+    "StopProcess",
+    "Store",
+    "StoreFull",
+    "Tally",
+    "Timeout",
+]

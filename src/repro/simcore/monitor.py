@@ -1,0 +1,161 @@
+"""Lightweight instrumentation for simulation components.
+
+Collectors are plain append-only series with numpy-backed reduction, so
+hot paths pay one ``list.append`` per sample.  Everything downstream
+(tables, CDFs, confidence intervals) reads from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Series", "Counter", "Tally", "MetricRegistry"]
+
+
+class Series:
+    """Timestamped samples ``(t, value)``."""
+
+    __slots__ = ("name", "_t", "_v")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._t: list[float] = []
+        self._v: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        self._t.append(t)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._v)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v, dtype=float)
+
+    def mean(self) -> float:
+        return float(np.mean(self._v)) if self._v else float("nan")
+
+    def total(self) -> float:
+        return float(np.sum(self._v)) if self._v else 0.0
+
+    def rate(self) -> float:
+        """Samples per unit time over the observed window."""
+        if len(self._t) < 2:
+            return 0.0
+        span = self._t[-1] - self._t[0]
+        return (len(self._t) - 1) / span if span > 0 else float("inf")
+
+
+class Counter:
+    """Monotonic named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def incr(self, by: int = 1) -> None:
+        self.value += by
+
+    def __int__(self) -> int:
+        return self.value
+
+
+class Tally:
+    """Streaming scalar statistics (count/mean/min/max/variance).
+
+    Welford's algorithm; O(1) memory regardless of sample count, which
+    matters for multi-million-transaction MDTest runs.
+    """
+
+    __slots__ = ("name", "n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else float("nan")
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return self.variance**0.5
+
+    @property
+    def min(self) -> float:
+        return self._min if self.n else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self.n else float("nan")
+
+
+@dataclass
+class MetricRegistry:
+    """Namespaced container of collectors shared across one simulation."""
+
+    series: dict[str, Series] = field(default_factory=dict)
+    counters: dict[str, Counter] = field(default_factory=dict)
+    tallies: dict[str, Tally] = field(default_factory=dict)
+
+    def get_series(self, name: str) -> Series:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = Series(name)
+        return s
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def tally(self, name: str) -> Tally:
+        t = self.tallies.get(name)
+        if t is None:
+            t = self.tallies[name] = Tally(name)
+        return t
+
+    def snapshot(self) -> dict:
+        """A plain-dict view of every collector (for result records)."""
+        out: dict = {}
+        for name, c in self.counters.items():
+            out[name] = c.value
+        for name, t in self.tallies.items():
+            out[name] = {
+                "n": t.n,
+                "mean": t.mean,
+                "std": t.std,
+                "min": t.min,
+                "max": t.max,
+            }
+        for name, s in self.series.items():
+            out[name] = {"n": len(s), "mean": s.mean(), "total": s.total()}
+        return out

@@ -1,0 +1,13 @@
+"""Benchmark workloads: MDTest (Figs 3-4) and IOR-style streaming."""
+
+from .ior import IORConfig, IORResult, run_ior
+from .mdtest import MDTestConfig, MDTestResult, run_mdtest
+
+__all__ = [
+    "IORConfig",
+    "IORResult",
+    "MDTestConfig",
+    "MDTestResult",
+    "run_ior",
+    "run_mdtest",
+]

@@ -1,0 +1,173 @@
+"""Integration matrix: HVAC features composed pairwise.
+
+Each feature works alone (their own test modules); these tests check
+the combinations a production deployment would actually run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import Allocation, TESTING
+from repro.core import CachePrefetcher, HVACDeployment
+from repro.simcore import AllOf, Environment
+from repro.storage import GPFS, Lustre, LustreSpec
+
+
+def build(n_nodes=4, rack_size=0, pfs_kind="gpfs", **hvac):
+    env = Environment()
+    spec = TESTING.with_hvac(**hvac)
+    if rack_size:
+        spec = dataclasses.replace(
+            spec,
+            network=dataclasses.replace(spec.network, rack_size=rack_size),
+        )
+    alloc = Allocation(env, spec, n_nodes=n_nodes)
+    if pfs_kind == "gpfs":
+        pfs = GPFS(env, spec.pfs, n_nodes, spec.network.nic_bandwidth)
+    else:
+        pfs = Lustre(
+            env,
+            LustreSpec(n_mds=2, mds_ops_per_sec=1000.0, n_oss=2,
+                       osts_per_oss=2, ost_bandwidth=1e9,
+                       data_latency=1e-4, client_overhead=0.0),
+            n_nodes,
+            spec.network.nic_bandwidth,
+        )
+    dep = HVACDeployment(alloc, pfs)
+    return env, dep, pfs
+
+
+def read_files(env, dep, files, nodes):
+    def reader(node):
+        cli = dep.client(node)
+        for path, size in files:
+            yield from cli.read_file(path, size, node)
+
+    procs = [env.process(reader(n)) for n in nodes]
+
+    def wait():
+        yield AllOf(env, procs)
+
+    env.run(env.process(wait()))
+
+
+SMALL = [(f"/d/s{i}", 20_000) for i in range(24)]
+BIG = [(f"/d/b{i}", 2_500_000) for i in range(4)]
+STRIPE = dict(stripe_large_files=True, stripe_threshold=1_000_000,
+              stripe_segment=500_000)
+
+
+class TestStripingCombos:
+    def test_striping_plus_replication(self):
+        """Segments are replicated like whole files; a failure falls
+        over segment-by-segment."""
+        env, dep, _ = build(replication_factor=2, **STRIPE)
+        read_files(env, dep, BIG, [0, 1, 2, 3])
+        dep.fail_node(1)
+        before = dep.metrics.counter("hvac.client_pfs_fallback").value
+        read_files(env, dep, BIG, [0])
+        assert dep.metrics.counter("hvac.client_pfs_fallback").value == before
+
+    def test_striping_plus_eviction_pressure(self):
+        """Segment entries evict independently under pressure."""
+        import dataclasses as dc
+
+        env = Environment()
+        spec = TESTING.with_hvac(**STRIPE)
+        # Shrink NVMe so the striped set overflows per-server budgets.
+        spec = dc.replace(
+            spec,
+            node=dc.replace(
+                spec.node,
+                nvme=dc.replace(spec.node.nvme, capacity_bytes=2_000_000),
+            ),
+        )
+        alloc = Allocation(env, spec, n_nodes=2)
+        pfs = GPFS(env, spec.pfs, 2, spec.network.nic_bandwidth)
+        dep = HVACDeployment(alloc, pfs)
+        read_files(env, dep, BIG, [0])
+        assert dep.total_cached_bytes <= 2 * 2_000_000
+        read_files(env, dep, BIG, [0])  # still serviceable
+
+    def test_striping_plus_prefetch_whole_files(self):
+        """Prefetch (whole-file keyed) coexists with striped demand
+        reads: demand segments fetch independently of prefetched files."""
+        env, dep, _ = build(**STRIPE)
+        pre = CachePrefetcher(dep, [p for p, _ in SMALL], [s for _, s in SMALL])
+        env.run(pre.start())
+        read_files(env, dep, SMALL + BIG, [0])
+        # Small files all hit; big files went through the striped path.
+        assert dep.metrics.counter("hvac.client_striped_reads").value == len(BIG)
+
+
+class TestReplicationCombos:
+    def test_replication_plus_consistent_hashing(self):
+        env, dep, _ = build(replication_factor=2, hash_scheme="consistent")
+        read_files(env, dep, SMALL, [0, 1, 2, 3])
+        dep.fail_node(2)
+        before = dep.metrics.counter("hvac.client_pfs_fallback").value
+        read_files(env, dep, SMALL, [0])
+        assert dep.metrics.counter("hvac.client_pfs_fallback").value == before
+
+    def test_replication_plus_minio_eviction(self):
+        env, dep, _ = build(replication_factor=2, eviction_policy="minio")
+        read_files(env, dep, SMALL, [0, 1])
+        read_files(env, dep, SMALL, [0, 1])
+        assert dep.hit_rate() > 0.3
+
+    def test_topology_plus_multiple_instances(self):
+        env, dep, _ = build(
+            rack_size=2,
+            instances_per_node=2,
+            replication_factor=2,
+            topology_aware=True,
+        )
+        assert dep.n_servers == 8
+        read_files(env, dep, SMALL, [0, 1, 2, 3])
+        # Replicas of every file live in two different racks.
+        for path, _ in SMALL:
+            reps = dep.placement.replicas(path)
+            racks = {dep.placement.rack_of(s) for s in reps}
+            assert len(racks) == 2
+
+
+class TestLustreCombos:
+    def test_prefetch_over_lustre(self):
+        env, dep, pfs = build(pfs_kind="lustre")
+        pre = CachePrefetcher(dep, [p for p, _ in SMALL], [s for _, s in SMALL])
+        env.run(pre.start())
+        opens = pfs.metrics.counter("lustre.opens").value
+        read_files(env, dep, SMALL, [0, 1])
+        # Demand epoch added no Lustre traffic.
+        assert pfs.metrics.counter("lustre.opens").value == opens
+
+    def test_striping_over_lustre(self):
+        env, dep, pfs = build(pfs_kind="lustre", **STRIPE)
+        read_files(env, dep, BIG, [0])
+        assert dep.metrics.counter("hvac.client_striped_reads").value == len(BIG)
+        assert dep.total_cached_bytes == sum(s for _, s in BIG)
+
+
+class TestKitchenSink:
+    def test_everything_on_at_once(self):
+        """Replication + topology + striping + LRU + 2 instances/node,
+        through failure and recovery."""
+        env, dep, _ = build(
+            n_nodes=4,
+            rack_size=2,
+            instances_per_node=2,
+            replication_factor=2,
+            topology_aware=True,
+            eviction_policy="lru",
+            **STRIPE,
+        )
+        files = SMALL + BIG
+        read_files(env, dep, files, [0, 1, 2, 3])
+        dep.fail_node(3)
+        read_files(env, dep, files, [0, 1, 2])
+        dep.recover_node(3)
+        read_files(env, dep, files, [0, 1, 2, 3])
+        assert dep.hit_rate() > 0.3
+        dep.teardown()
+        assert dep.total_cached_bytes == 0

@@ -1,0 +1,261 @@
+"""Unit tests for the virtual POSIX layer and LD_PRELOAD-style interposer."""
+
+import pytest
+
+from repro.cluster import Allocation, TESTING
+from repro.core import HVACDeployment
+from repro.posix import (
+    Interposition,
+    MountTable,
+    Namespace,
+    PosixError,
+    ProcessView,
+    interpose_view,
+    unload,
+)
+from repro.simcore import Environment
+from repro.storage import GPFS
+
+
+def make_stack(n_nodes=2):
+    env = Environment()
+    ns = Namespace()
+    mounts = MountTable()
+    pfs = GPFS(env, TESTING.pfs, n_nodes, TESTING.network.nic_bandwidth)
+    mounts.mount("/gpfs", pfs)
+    return env, ns, mounts, pfs
+
+
+class TestNamespace:
+    def test_add_and_size(self):
+        ns = Namespace()
+        ns.add_file("/gpfs/a", 100)
+        assert ns.size_of("/gpfs/a") == 100
+        assert ns.exists("/gpfs/a")
+        assert len(ns) == 1
+
+    def test_missing_raises(self):
+        ns = Namespace()
+        with pytest.raises(PosixError):
+            ns.size_of("/nope")
+
+    def test_remove(self):
+        ns = Namespace()
+        ns.add_file("/a", 1)
+        ns.remove_file("/a")
+        assert not ns.exists("/a")
+        with pytest.raises(PosixError):
+            ns.remove_file("/a")
+
+    def test_bulk_add(self):
+        ns = Namespace()
+        ns.add_files(["/a", "/b"], [1, 2])
+        assert ns.size_of("/b") == 2
+
+    def test_negative_size_rejected(self):
+        ns = Namespace()
+        with pytest.raises(ValueError):
+            ns.add_file("/a", -1)
+
+
+class TestMountTable:
+    def test_longest_prefix_wins(self):
+        env, ns, mounts, pfs = make_stack()
+        pfs2 = GPFS(env, TESTING.pfs, 2, 1e9)
+        mounts.mount("/gpfs/special", pfs2)
+        assert mounts.resolve("/gpfs/special/x") is pfs2
+        assert mounts.resolve("/gpfs/other") is pfs
+
+    def test_no_false_prefix_match(self):
+        env, ns, mounts, pfs = make_stack()
+        with pytest.raises(PosixError):
+            mounts.resolve("/gpfsX/file")  # /gpfs must not match /gpfsX
+
+    def test_unmount(self):
+        env, ns, mounts, pfs = make_stack()
+        mounts.unmount("/gpfs")
+        with pytest.raises(PosixError):
+            mounts.resolve("/gpfs/x")
+        with pytest.raises(ValueError):
+            mounts.unmount("/gpfs")
+
+    def test_duplicate_mount_rejected(self):
+        env, ns, mounts, pfs = make_stack()
+        with pytest.raises(ValueError):
+            mounts.mount("/gpfs", pfs)
+
+    def test_relative_prefix_rejected(self):
+        mounts = MountTable()
+        with pytest.raises(ValueError):
+            mounts.mount("relative", None)
+
+    def test_root_mount_catches_all(self):
+        env, ns, mounts, pfs = make_stack()
+        root_fs = GPFS(env, TESTING.pfs, 2, 1e9)
+        mounts.mount("/", root_fs)
+        assert mounts.resolve("/anything/else") is root_fs
+
+
+class TestProcessView:
+    def test_open_read_close(self):
+        env, ns, mounts, pfs = make_stack()
+        ns.add_file("/gpfs/data/f", 500)
+        view = ProcessView(env, ns, mounts, node_id=0)
+        got = []
+
+        def proc():
+            fd = yield from view.open("/gpfs/data/f")
+            assert fd >= 3
+            n = yield from view.read(fd)
+            yield from view.close(fd)
+            got.append(n)
+
+        env.run(env.process(proc()))
+        assert got == [500]
+        assert view.open_fds == 0
+
+    def test_read_file_transaction(self):
+        env, ns, mounts, pfs = make_stack()
+        ns.add_file("/gpfs/f", 123)
+        view = ProcessView(env, ns, mounts, node_id=1)
+
+        def proc():
+            n = yield from view.read_file("/gpfs/f")
+            return n
+
+        assert env.run(env.process(proc())) == 123
+
+    def test_open_missing_file(self):
+        env, ns, mounts, pfs = make_stack()
+        view = ProcessView(env, ns, mounts, node_id=0)
+
+        def proc():
+            yield from view.open("/gpfs/ghost")
+
+        with pytest.raises(PosixError):
+            env.run(env.process(proc()))
+
+    def test_bad_fd(self):
+        env, ns, mounts, pfs = make_stack()
+        view = ProcessView(env, ns, mounts, node_id=0)
+
+        def proc():
+            yield from view.read(42)
+
+        with pytest.raises(PosixError):
+            env.run(env.process(proc()))
+
+    def test_double_close_is_ebadf(self):
+        env, ns, mounts, pfs = make_stack()
+        ns.add_file("/gpfs/f", 10)
+        view = ProcessView(env, ns, mounts, node_id=0)
+
+        def proc():
+            fd = yield from view.open("/gpfs/f")
+            yield from view.close(fd)
+            yield from view.close(fd)
+
+        with pytest.raises(PosixError):
+            env.run(env.process(proc()))
+
+    def test_stat(self):
+        env, ns, mounts, pfs = make_stack()
+        ns.add_file("/gpfs/f", 77)
+        view = ProcessView(env, ns, mounts, node_id=0)
+        assert view.stat("/gpfs/f") == 77
+
+    def test_fds_are_unique(self):
+        env, ns, mounts, pfs = make_stack()
+        ns.add_file("/gpfs/a", 1)
+        ns.add_file("/gpfs/b", 1)
+        view = ProcessView(env, ns, mounts, node_id=0)
+
+        def proc():
+            fd1 = yield from view.open("/gpfs/a")
+            fd2 = yield from view.open("/gpfs/b")
+            return fd1, fd2
+
+        fd1, fd2 = env.run(env.process(proc()))
+        assert fd1 != fd2
+
+
+class TestInterposition:
+    def build_hvac(self, env, n_nodes=2):
+        alloc = Allocation(env, TESTING, n_nodes=n_nodes)
+        pfs = GPFS(env, TESTING.pfs, n_nodes, TESTING.network.nic_bandwidth)
+        dep = HVACDeployment(alloc, pfs)
+        return pfs, dep
+
+    def test_dataset_paths_redirected(self):
+        env, ns, mounts, _ = make_stack()
+        pfs, dep = self.build_hvac(env)
+        ns.add_file("/gpfs/dataset/img1", 1000)
+        ns.add_file("/gpfs/other/config", 10)
+        view = ProcessView(env, ns, mounts, node_id=0)
+        shim = interpose_view(view, "/gpfs/dataset", dep.client(0))
+
+        def proc():
+            yield from view.read_file("/gpfs/dataset/img1")
+            yield from view.read_file("/gpfs/other/config")
+
+        env.run(env.process(proc()))
+        assert shim.intercepted_calls == 1
+        assert shim.passthrough_calls == 1
+        # The dataset file went through HVAC (it's now cached).
+        assert dep.total_cached_files == 1
+
+    def test_prefix_matching_exact_dir(self):
+        env = Environment()
+        _, dep = self.build_hvac(env)
+        shim = Interposition("/gpfs/data", dep.client(0))
+        assert shim.matches("/gpfs/data/f")
+        assert shim.matches("/gpfs/data")
+        assert not shim.matches("/gpfs/database/f")
+
+    def test_relative_dataset_dir_rejected(self):
+        env = Environment()
+        _, dep = self.build_hvac(env)
+        with pytest.raises(ValueError):
+            Interposition("relative/dir", dep.client(0))
+
+    def test_double_interpose_rejected(self):
+        env, ns, mounts, _ = make_stack()
+        _, dep = self.build_hvac(env)
+        view = ProcessView(env, ns, mounts, node_id=0)
+        interpose_view(view, "/gpfs/data", dep.client(0))
+        with pytest.raises(RuntimeError):
+            interpose_view(view, "/gpfs/data", dep.client(0))
+
+    def test_unload_restores_passthrough(self):
+        env, ns, mounts, pfs = make_stack()
+        _, dep = self.build_hvac(env)
+        ns.add_file("/gpfs/data/f", 100)
+        view = ProcessView(env, ns, mounts, node_id=0)
+        interpose_view(view, "/gpfs/data", dep.client(0))
+        unload(view)
+
+        def proc():
+            yield from view.read_file("/gpfs/data/f")
+
+        env.run(env.process(proc()))
+        assert dep.total_cached_files == 0  # went straight to GPFS
+        assert pfs.metrics.counter("gpfs.opens").value == 1
+
+    def test_application_code_is_unmodified(self):
+        """The same loop works with and without the shim — portability."""
+        def application(view, paths):
+            for p in paths:
+                yield from view.read_file(p)
+
+        env, ns, mounts, pfs = make_stack()
+        _, dep = self.build_hvac(env)
+        for i in range(4):
+            ns.add_file(f"/gpfs/data/f{i}", 100)
+        paths = [f"/gpfs/data/f{i}" for i in range(4)]
+
+        view_plain = ProcessView(env, ns, mounts, node_id=0)
+        env.run(env.process(application(view_plain, paths)))
+        view_hvac = ProcessView(env, ns, mounts, node_id=0)
+        interpose_view(view_hvac, "/gpfs/data", dep.client(0))
+        env.run(env.process(application(view_hvac, paths)))
+        assert dep.total_cached_files == 4
