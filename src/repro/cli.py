@@ -20,6 +20,7 @@ from .experiments import (
     Scale,
     generate_report,
     accuracy_comparison,
+    fault_matrix,
     load_balance,
     mdtest_scaling,
     mdtest_scaling_analytic,
@@ -27,6 +28,7 @@ from .experiments import (
     node_scaling_analytic,
     normalized_to_gpfs,
     overhead_vs_xfs,
+    resilience_sweep,
     run_training,
 )
 
@@ -166,6 +168,22 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resilience(args: argparse.Namespace) -> int:
+    sweep = resilience_sweep(
+        fail_fractions=args.fractions,
+        n_nodes=args.nodes,
+        n_files=args.files,
+        seed=args.seed,
+    )
+    print(sweep.render())
+    print()
+    matrix = fault_matrix(
+        n_nodes=min(args.nodes, 4), n_files=args.files, seed=args.seed
+    )
+    print(matrix.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HVAC reproduction toolkit"
@@ -216,6 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write to a file instead of stdout")
     _add_scale_args(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "resilience",
+        help="§III-H: epoch time vs failed servers + per-fault-kind matrix",
+    )
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--files", type=int, default=48,
+                   help="files per node per epoch")
+    p.add_argument("--fractions", type=float, nargs="+",
+                   default=[0.0, 0.25, 0.5],
+                   help="fractions of nodes to crash")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_resilience)
 
     p = sub.add_parser("train", help="one training simulation")
     p.add_argument("--system", default="hvac1",

@@ -14,13 +14,30 @@ oversubscription can be modelled by lowering
 
 Same-node transfers model the shared-memory path: endpoint overhead plus
 a copy at ``loopback_bandwidth``.
+
+Link faults (gray failures, §III-H extension): a per-link drop
+probability and extra delay can be injected at runtime
+(:meth:`Fabric.set_link_fault`), and whole nodes can be partitioned off
+(:meth:`Fabric.isolate`).  A dropped message spends its propagation time
+and then vanishes — :meth:`transfer` returns ``False`` — so a lost RPC
+reply surfaces at the caller only as a deadline expiry, never as an
+oracle signal.  Drop decisions come from a dedicated seeded stream, so
+flaky-link runs are deterministic.
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
-from ..simcore import Environment, MetricRegistry, Resource, SimulationError
+import numpy as np
+
+from ..simcore import (
+    Environment,
+    MetricRegistry,
+    Resource,
+    SimulationError,
+    stable_hash64,
+)
 from .specs import NetworkSpec
 
 __all__ = ["Fabric"]
@@ -73,13 +90,73 @@ class Fabric:
         else:
             self._uplink_tx = self._uplink_rx = []
             self._uplink_bw = 0.0
+        # -- injected link faults --------------------------------------
+        #: (src, dst) -> (drop probability, extra one-way delay)
+        self._link_faults: dict[tuple[int, int], tuple[float, float]] = {}
+        self._partitioned: set[int] = set()
+        self._fault_rng = np.random.default_rng(
+            stable_hash64("fabric.faults", n_nodes) & 0x7FFFFFFFFFFFFFFF
+        )
+
+    # -- fault injection -------------------------------------------------
+    def seed_faults(self, seed: int) -> None:
+        """Re-seed the drop-decision stream (deterministic experiments)."""
+        self._fault_rng = np.random.default_rng(
+            stable_hash64("fabric.faults", seed) & 0x7FFFFFFFFFFFFFFF
+        )
+
+    def set_link_fault(
+        self,
+        src: int,
+        dst: int,
+        drop_prob: float = 0.0,
+        extra_delay: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Make the ``src → dst`` link flaky (and ``dst → src`` too when
+        ``symmetric``)."""
+        self._check_node(src)
+        self._check_node(dst)
+        if not 0.0 <= drop_prob <= 1.0:
+            raise SimulationError("drop_prob must be in [0, 1]")
+        if extra_delay < 0:
+            raise SimulationError("extra_delay must be >= 0")
+        self._link_faults[(src, dst)] = (drop_prob, extra_delay)
+        if symmetric:
+            self._link_faults[(dst, src)] = (drop_prob, extra_delay)
+
+    def clear_link_fault(self, src: int, dst: int, symmetric: bool = True) -> None:
+        self._link_faults.pop((src, dst), None)
+        if symmetric:
+            self._link_faults.pop((dst, src), None)
+
+    def isolate(self, node_id: int) -> None:
+        """Transient partition: every message to or from ``node_id`` is lost."""
+        self._check_node(node_id)
+        self._partitioned.add(node_id)
+
+    def heal(self, node_id: int) -> None:
+        self._partitioned.discard(node_id)
+
+    def clear_faults(self) -> None:
+        self._link_faults.clear()
+        self._partitioned.clear()
+
+    def _link_state(self, src: int, dst: int) -> tuple[float, float]:
+        if src in self._partitioned or dst in self._partitioned:
+            return 1.0, 0.0
+        return self._link_faults.get((src, dst), (0.0, 0.0))
 
     def _check_node(self, node_id: int) -> None:
         if not 0 <= node_id < self.n_nodes:
             raise SimulationError(f"node id {node_id} out of range 0..{self.n_nodes - 1}")
 
     def transfer(self, src: int, dst: int, nbytes: int) -> Generator:
-        """Move ``nbytes`` from ``src`` to ``dst``; yields until delivered."""
+        """Move ``nbytes`` from ``src`` to ``dst``; yields until delivered
+        (or lost).  Returns ``True`` on delivery, ``False`` when an
+        injected link fault or partition swallowed the message — the
+        *receiver* never learns a lost message existed; only the sender's
+        deadline can."""
         self._check_node(src)
         self._check_node(dst)
         if nbytes < 0:
@@ -87,13 +164,26 @@ class Fabric:
         spec = self.spec
 
         if src == dst:
+            # Shared memory: immune to fabric faults (and to partitions —
+            # a node can always talk to itself).
             yield self.env.timeout(
                 spec.per_message_overhead + nbytes / spec.loopback_bandwidth
             )
             self.metrics.counter("fabric.local_transfers").incr()
-            return
+            return True
 
+        drop_prob, extra_delay = self._link_state(src, dst)
         yield self.env.timeout(spec.per_message_overhead)
+        if extra_delay:
+            yield self.env.timeout(extra_delay)
+        if drop_prob and (
+            drop_prob >= 1.0 or self._fault_rng.random() < drop_prob
+        ):
+            # The message dies in the fabric after its propagation time,
+            # without ever occupying the receiver's port.
+            yield self.env.timeout(spec.link_latency)
+            self.metrics.counter("fabric.dropped_messages").incr()
+            return False
         with self._tx[src].res.request() as tx:
             yield tx
             with self._rx[dst].res.request() as rx:
@@ -108,6 +198,7 @@ class Fabric:
                         )
         self.metrics.counter("fabric.remote_transfers").incr()
         self.metrics.tally("fabric.remote_bytes").add(nbytes)
+        return True
 
     # -- topology --------------------------------------------------------
     def rack_of(self, node_id: int) -> int:

@@ -52,6 +52,10 @@ class NVMeDevice:
         # rated bandwidth (QD× overdelivery).
         self._bandwidth = Resource(env, capacity=1)
         self._used_bytes = 0
+        # Gray-failure hook: a degraded device serves at 1/factor of its
+        # rated bandwidth with factor x latency (worn flash, thermal
+        # throttling, a dying controller) without ever failing outright.
+        self._slow_factor = 1.0
 
     # -- capacity accounting ------------------------------------------
     @property
@@ -76,6 +80,23 @@ class NVMeDevice:
             raise ValueError(f"invalid release of {nbytes} (used={self._used_bytes})")
         self._used_bytes -= nbytes
 
+    # -- gray failures --------------------------------------------------
+    @property
+    def slow_factor(self) -> float:
+        return self._slow_factor
+
+    def degrade(self, factor: float) -> None:
+        """Throttle the device to ``1/factor`` of rated bandwidth (§III-H
+        gray failure: the server stays up but every I/O slows down)."""
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self._slow_factor = float(factor)
+        self.metrics.counter(f"{self.name}.degradations").incr()
+
+    def restore(self) -> None:
+        """Return the device to rated performance."""
+        self._slow_factor = 1.0
+
     # -- timed I/O ------------------------------------------------------
     def read(self, nbytes: int) -> Generator:
         """Read ``nbytes``; occupies a queue slot for the service time."""
@@ -98,10 +119,10 @@ class NVMeDevice:
             raise ValueError("nbytes must be >= 0")
         with self._queue.request() as slot:
             yield slot
-            yield self.env.timeout(latency)
+            yield self.env.timeout(latency * self._slow_factor)
             with self._bandwidth.request() as bw:
                 yield bw
-                yield self.env.timeout(nbytes / bandwidth)
+                yield self.env.timeout(nbytes * self._slow_factor / bandwidth)
 
     @property
     def inflight(self) -> int:

@@ -199,6 +199,23 @@ class HVACSpec:
     #: rack-aware replica placement + same-rack read preference
     #: (requires replication_factor >= 2 and a NetworkSpec rack_size)
     topology_aware: bool = False
+    # -- timeout-based failure detection (§III-H) ----------------------
+    #: per-RPC deadline on every forwarded read; a call that exceeds it
+    #: raises RPCTimeout and counts as a strike against the server.
+    #: Generous by default so calibrated healthy runs never trip it;
+    #: resilience experiments tighten it for snappy detection.
+    rpc_timeout: float = 15.0
+    #: bounded retry attempts per forwarded read before PFS fallback
+    rpc_max_retries: int = 4
+    #: exponential backoff base between retries (doubled per attempt,
+    #: jittered x0.5-1.5 from the client's seeded stream)
+    rpc_backoff_base: float = 0.5e-3
+    #: ceiling on a single backoff sleep
+    rpc_backoff_cap: float = 0.1
+    #: consecutive timeouts/errors before a server is suspected
+    suspect_after: int = 2
+    #: how long a suspected server stays blacklisted before a re-probe
+    probation_period: float = 2.0
 
     def __post_init__(self) -> None:
         if self.instances_per_node < 1:
@@ -213,6 +230,16 @@ class HVACSpec:
             raise ValueError(f"unknown hash scheme {self.hash_scheme!r}")
         if self.stripe_segment < 1 or self.stripe_threshold < 1:
             raise ValueError("stripe sizes must be positive")
+        if self.rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+        if self.rpc_max_retries < 1:
+            raise ValueError("rpc_max_retries must be >= 1")
+        if self.rpc_backoff_base < 0 or self.rpc_backoff_cap < 0:
+            raise ValueError("backoff parameters must be >= 0")
+        if self.suspect_after < 1:
+            raise ValueError("suspect_after must be >= 1")
+        if self.probation_period < 0:
+            raise ValueError("probation_period must be >= 0")
 
 
 @dataclass(frozen=True)

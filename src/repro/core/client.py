@@ -10,20 +10,30 @@ virtual-POSIX interposer (and the DL data loader) can treat it exactly
 like GPFS or a local filesystem.  Costs charged per intercepted call
 come from :attr:`HVACSpec.client_request_overhead`.
 
-Failover (§III-H, implemented as the paper's proposed extension): when
-the homed server is unreachable, the client walks the replica list; with
-``replication_factor == 1`` there is no replica, and the client falls
-back to reading the PFS directly — a failed NVMe degrades performance
-instead of failing the training run.
+Failover (§III-H, implemented as the paper's proposed extension) is
+*detected*, never oracled: every forwarded read carries a deadline
+(:attr:`HVACSpec.rpc_timeout`), failures and timeouts are strikes in a
+per-client :class:`~repro.faults.FailureDetector`, suspected servers sit
+out a probation period before being re-probed, and a bounded retry loop
+with exponential backoff + seeded jitter walks the replica list before
+degrading to direct PFS reads — a failed (or hung, or slow, or
+partitioned) NVMe costs performance, never the training run.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from ..cluster.specs import ClusterSpec
-from ..rpc import RPCEndpoint, RPCError
-from ..simcore import AllOf, Environment, MetricRegistry, stable_hash64
+from ..faults import FailureDetector
+from ..rpc import RPCEndpoint, RPCError, RPCTimeout
+from ..simcore import (
+    AllOf,
+    Environment,
+    MetricRegistry,
+    RandomStreams,
+    stable_hash64,
+)
 from ..storage.base import FileBackend, OpenFile
 from .hashing import Placement
 from .server import HVACServer
@@ -44,6 +54,7 @@ class HVACClient(FileBackend):
         spec: ClusterSpec,
         metrics: MetricRegistry | None = None,
         spread_replica_reads: bool = True,
+        rand: RandomStreams | None = None,
     ):
         self.env = env
         self.node_id = node_id
@@ -53,6 +64,14 @@ class HVACClient(FileBackend):
         self.spec = spec
         self.metrics = metrics or MetricRegistry()
         self.spread_replica_reads = spread_replica_reads
+        self.rand = rand or RandomStreams(stable_hash64("hvac-client", node_id))
+        hvac = spec.hvac
+        self.detector = FailureDetector(
+            env,
+            len(servers),
+            suspect_after=hvac.suspect_after,
+            probation=hvac.probation_period,
+        )
         # The client endpoint shares the node's fabric ports.
         fabric = servers[0].endpoint.fabric
         self.endpoint = RPCEndpoint(env, fabric, node_id, name=f"hvac-c@n{node_id}")
@@ -80,15 +99,22 @@ class HVACClient(FileBackend):
             replicas = replicas[start:] + replicas[:start]
         return replicas
 
-    def _alive_server(self, path: str) -> Optional[HVACServer]:
+    def _candidates(self, path: str) -> list[int]:
+        """Replica ids the detector currently allows requests to.
+
+        Liveness is pure client-side suspicion — observed timeouts and
+        errors — never a peek at server state.
+        """
         order = self.replica_order(path)
         if not self.spec.hvac.failover_enabled:
-            server = self.servers[order[0]]
-            return server if server.alive else None
-        for sid in order:
-            if self.servers[sid].alive:
-                return self.servers[sid]
-        return None
+            order = order[:1]
+        return [sid for sid in order if self.detector.usable(sid)]
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with seeded jitter before retry ``attempt``."""
+        hvac = self.spec.hvac
+        base = min(hvac.rpc_backoff_base * (2.0**attempt), hvac.rpc_backoff_cap)
+        return base * self.rand.uniform("backoff", 0.5, 1.5)
 
     # -- FileBackend (the three intercepted calls) ----------------------------
     def open(self, path: str, size: int, client_node: int) -> Generator:
@@ -135,28 +161,47 @@ class HVACClient(FileBackend):
         """One forwarded read transaction (whole file or one segment).
 
         Returns the server's hit flag, or None when served by PFS
-        fallback.  Retries through replicas on server death.
+        fallback.  A bounded retry loop with backoff walks the
+        detector-approved replicas; every retry path terminates in the
+        PFS — a flapping server can cost at most ``rpc_max_retries``
+        strikes, never an unbounded recursion.
         """
-        server = self._alive_server(path)
-        if server is None:
-            # Total cache failure for this file: degrade to direct PFS.
-            self.metrics.counter("hvac.client_pfs_fallback").incr()
-            yield from self.pfs.read_file(path, size, client_node)
-            return None
-        try:
-            # The server replies after its data mover has the bytes and
-            # bulk-pushes them here.
-            hit = yield from self.endpoint.call(
-                server.endpoint,
-                "read",
-                payload=(path, size),
-                payload_bytes=len(path) + 16,
-            )
-        except RPCError:
-            self.metrics.counter("hvac.client_rpc_failures").incr()
-            # Server died mid-call: retry via failover path (or PFS).
-            return (yield from self._forward_read(path, size, client_node))
-        return hit
+        hvac = self.spec.hvac
+        for attempt in range(hvac.rpc_max_retries):
+            candidates = self._candidates(path)
+            if not candidates:
+                break
+            sid = candidates[attempt % len(candidates)]
+            server = self.servers[sid]
+            try:
+                # The server replies after its data mover has the bytes
+                # and bulk-pushes them here; the deadline covers the
+                # whole exchange (hung servers and lost replies look
+                # identical: silence).
+                hit = yield from self.endpoint.call(
+                    server.endpoint,
+                    "read",
+                    payload=(path, size),
+                    payload_bytes=len(path) + 16,
+                    timeout=hvac.rpc_timeout,
+                )
+            except RPCTimeout:
+                self.detector.record_failure(sid)
+                self.metrics.counter("hvac.client_rpc_timeouts").incr()
+            except RPCError:
+                self.detector.record_failure(sid)
+                self.metrics.counter("hvac.client_rpc_failures").incr()
+            else:
+                self.detector.record_success(sid)
+                return hit
+            if attempt + 1 < hvac.rpc_max_retries:
+                self.metrics.counter("hvac.client_retries").incr()
+                yield self.env.timeout(self._backoff(attempt))
+        # Every approved replica failed (or none is approved): degrade
+        # to a direct PFS read — slower, but the training run survives.
+        self.metrics.counter("hvac.client_pfs_fallback").incr()
+        yield from self.pfs.read_file(path, size, client_node)
+        return None
 
     def _read_striped(self, handle: OpenFile) -> Generator:
         """Fetch a large file as parallel segments from their homes."""
@@ -190,16 +235,24 @@ class HVACClient(FileBackend):
             raise ValueError(f"double close of {handle.path}")
         handle.closed = True
         yield self.env.timeout(self.spec.hvac.client_request_overhead)
-        server = self._alive_server(handle.path)
-        if server is not None:
+        candidates = self._candidates(handle.path)
+        if candidates:
             # Out-of-band: the client does not wait for the ack.
             self.env.process(
-                self._oob_close(server, handle.path), name="hvac.oob_close"
+                self._oob_close(candidates[0], handle.path), name="hvac.oob_close"
             )
         self.metrics.counter("hvac.client_closes").incr()
 
-    def _oob_close(self, server: HVACServer, path: str) -> Generator:
+    def _oob_close(self, sid: int, path: str) -> Generator:
+        server = self.servers[sid]
         try:
-            yield from self.endpoint.call(server.endpoint, "close", payload=path)
+            yield from self.endpoint.call(
+                server.endpoint, "close", payload=path,
+                timeout=self.spec.hvac.rpc_timeout,
+            )
         except RPCError:
-            pass  # teardown of a dying server is best-effort
+            # Teardown of a dying server is best-effort, but the silence
+            # still counts as evidence against it.
+            self.detector.record_failure(sid)
+        else:
+            self.detector.record_success(sid)

@@ -77,7 +77,9 @@ class HVACDeployment:
         self.placement = placement
 
         rand = RandomStreams(seed)
+        self.rand = rand
         self.localfs: list[LocalFS] = []
+        self._fs_by_node: dict[int, LocalFS] = {}
         self.servers: list[HVACServer] = []
         per_instance_capacity = int(
             hvac.cache_fraction
@@ -93,6 +95,7 @@ class HVACDeployment:
                 track_namespace=False,
             )
             self.localfs.append(fs)
+            self._fs_by_node[node.node_id] = fs
             for inst in range(hvac.instances_per_node):
                 server_id = len(self.servers)
                 self.servers.append(
@@ -133,6 +136,7 @@ class HVACDeployment:
                 self.pfs,
                 self.spec,
                 metrics=self.metrics,
+                rand=self.rand.child(f"client{node_id}"),
             )
             self._clients[node_id] = cli
         return cli
@@ -171,6 +175,32 @@ class HVACDeployment:
     def recover_node(self, node_id: int) -> None:
         for server in self.servers_on_node(node_id):
             server.recover()
+
+    def hang_node(self, node_id: int) -> None:
+        """Wedge every server instance on a node (gray failure: requests
+        land but no reply ever comes — only client deadlines notice)."""
+        for server in self.servers_on_node(node_id):
+            server.hang()
+
+    def unhang_node(self, node_id: int) -> None:
+        for server in self.servers_on_node(node_id):
+            server.unhang()
+
+    def degrade_node(self, node_id: int, factor: float) -> None:
+        """Throttle a node's NVMe to 1/``factor`` of rated performance."""
+        self._fs_by_node[node_id].device.degrade(factor)
+
+    def restore_node(self, node_id: int) -> None:
+        self._fs_by_node[node_id].device.restore()
+
+    def inject(self, schedule) -> "object":
+        """Start a fault :class:`~repro.faults.Injector` replaying
+        ``schedule`` against this deployment; returns the injector."""
+        from ..faults import Injector
+
+        injector = Injector(self, schedule)
+        injector.start()
+        return injector
 
     # -- aggregate stats ------------------------------------------------------
     @property

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..cluster import Fabric
 from ..cluster.specs import ClusterSpec
-from ..rpc import RPCEndpoint
+from ..rpc import RPCEndpoint, RPCError
 from ..simcore import AllOf, Environment, Event, MetricRegistry, Resource, Store
 from ..storage.base import FileBackend
 from ..storage.localfs import LocalFS
@@ -108,18 +108,46 @@ class HVACServer:
         """Simulate node-local NVMe / server-process failure (§III-H)."""
         self._failed = True
         self.endpoint.shutdown()
+        self._flush_inflight()
+
+    def hang(self) -> None:
+        """Gray failure: the server process wedges.  Requests still land
+        on its endpoint but no reply is ever produced; clients can only
+        find out through their own deadlines."""
+        self.endpoint.hang()
+
+    def unhang(self) -> None:
+        self.endpoint.unhang()
+
+    @property
+    def hung(self) -> bool:
+        return self.endpoint.hung
 
     def recover(self) -> None:
         """Restart after failure with a cold cache."""
         self.cache.purge()
+        self._inflight.clear()
         self._failed = False
         self.endpoint.restart()
+
+    def _flush_inflight(self) -> None:
+        """Fail every dedup waiter parked on an in-flight fetch: the
+        fetch's result dies with the server, and a waiter left pending
+        would hang its client forever (it can never be re-triggered)."""
+        for pending in self._inflight.values():
+            if not pending.triggered:
+                # Pre-defuse: with zero waiters the kernel must not treat
+                # the failure as unhandled; real waiters still get the
+                # exception thrown in.
+                pending.fail(RPCError("server failed mid-fetch")).defused()
+        self._inflight.clear()
 
     def teardown(self) -> None:
         """Job-end lifecycle: purge the cached dataset from node-local storage."""
         self.cache.purge()
         self.endpoint.shutdown()
         self._failed = True  # a torn-down server serves nothing
+        self._flush_inflight()
 
     # -- RPC handlers ----------------------------------------------------
     def _handle_read(self, payload: tuple, src: int) -> Generator:
@@ -215,8 +243,11 @@ class HVACServer:
                 req.done.succeed()
                 yield from self.cache.insert(req.path, req.size)
             finally:
-                del self._inflight[req.path]
-                fetch_done.succeed()
+                # fail()/recover() may already have flushed the dict and
+                # failed the event while this fetch was in flight.
+                self._inflight.pop(req.path, None)
+                if not fetch_done.triggered:
+                    fetch_done.succeed()
         except Exception as err:  # noqa: BLE001 — propagate to the RPC caller
             if not req.done.triggered:
                 req.done.fail(err)

@@ -12,6 +12,12 @@ from .epochs import (
 from .harness import Scale, repeat_training, resolve_setup, run_training
 from .load_balance import LoadBalanceResult, load_balance
 from .report import generate_report
+from .resilience import (
+    FaultMatrixResult,
+    ResilienceResult,
+    fault_matrix,
+    resilience_sweep,
+)
 from .mdtest_exp import (
     LARGE_FILE,
     SMALL_FILE,
@@ -36,6 +42,10 @@ __all__ = [
     "CacheSplitResult",
     "epoch_scaling",
     "EpochScalingResult",
+    "fault_matrix",
+    "FaultMatrixResult",
+    "resilience_sweep",
+    "ResilienceResult",
     "LARGE_FILE",
     "load_balance",
     "LoadBalanceResult",

@@ -1,0 +1,124 @@
+"""The fault injector: drives a :class:`FaultSchedule` against a live
+deployment inside the simulation clock.
+
+The injector is deliberately dumb — it only *applies* faults at their
+scheduled times and heals transient ones after their duration.  All
+detection intelligence lives on the client side
+(:class:`~repro.faults.detector.FailureDetector`); no component under
+test is told a fault happened.
+
+The target is duck-typed: anything with ``fail_node`` / ``recover_node``
+/ ``hang_node`` / ``unhang_node`` / ``degrade_node`` / ``restore_node``
+and an ``allocation.fabric`` works (in practice,
+:class:`~repro.core.deployment.HVACDeployment`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simcore import Environment, Process
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = ["Injector"]
+
+
+class Injector:
+    """Replays one fault schedule against one deployment."""
+
+    def __init__(self, deployment, schedule: FaultSchedule):
+        self.deployment = deployment
+        self.schedule = schedule
+        self.env: Environment = deployment.env
+        self.fabric = deployment.allocation.fabric
+        #: chronological (sim time, description) log of applied actions
+        self.log: list[tuple[float, str]] = []
+        self._proc: Process | None = None
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> Process:
+        """Begin replaying the schedule; onsets are relative to *now*."""
+        if self._proc is not None:
+            raise RuntimeError("injector already started")
+        self._proc = self.env.process(self._run(), name="fault-injector")
+        return self._proc
+
+    @property
+    def done(self) -> bool:
+        return self._proc is not None and not self._proc.is_alive
+
+    def _note(self, what: str) -> None:
+        self.log.append((self.env.now, what))
+
+    # -- replay -----------------------------------------------------------
+    def _run(self) -> Generator:
+        t0 = self.env.now
+        for event in self.schedule:
+            at = t0 + event.time
+            if at > self.env.now:
+                yield self.env.timeout(at - self.env.now)
+            self._apply(event)
+        # Keep the injector alive until spawned heal/flap children exist
+        # only as their own processes; nothing to wait on here.
+        return None
+
+    def _apply(self, event: FaultEvent) -> None:
+        dep = self.deployment
+        kind = event.kind
+        if kind == "crash":
+            dep.fail_node(event.node)
+            self._note(f"crash node {event.node}")
+            if event.duration is not None:
+                self._heal_later(event, lambda: dep.recover_node(event.node),
+                                 f"recover node {event.node}")
+        elif kind == "hang":
+            dep.hang_node(event.node)
+            self._note(f"hang node {event.node}")
+            if event.duration is not None:
+                self._heal_later(event, lambda: dep.unhang_node(event.node),
+                                 f"unhang node {event.node}")
+        elif kind == "flap":
+            self.env.process(self._flap(event), name="fault.flap")
+        elif kind == "degrade":
+            dep.degrade_node(event.node, event.factor)
+            self._note(f"degrade node {event.node} x{event.factor:g}")
+            if event.duration is not None:
+                self._heal_later(event, lambda: dep.restore_node(event.node),
+                                 f"restore node {event.node}")
+        elif kind == "flaky_link":
+            src, dst = event.link
+            self.fabric.set_link_fault(
+                src, dst, drop_prob=event.drop_prob, extra_delay=event.extra_delay
+            )
+            self._note(f"flaky link {src}<->{dst} p={event.drop_prob:g}")
+            if event.duration is not None:
+                self._heal_later(
+                    event, lambda: self.fabric.clear_link_fault(src, dst),
+                    f"heal link {src}<->{dst}",
+                )
+        elif kind == "partition":
+            self.fabric.isolate(event.node)
+            self._note(f"partition node {event.node}")
+            if event.duration is not None:
+                self._heal_later(event, lambda: self.fabric.heal(event.node),
+                                 f"heal partition node {event.node}")
+        else:  # pragma: no cover - FaultEvent validates kinds
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    def _heal_later(self, event: FaultEvent, undo, label: str) -> None:
+        def healer() -> Generator:
+            yield self.env.timeout(event.duration)
+            undo()
+            self._note(label)
+
+        self.env.process(healer(), name=f"fault.heal.{event.kind}")
+
+    def _flap(self, event: FaultEvent) -> Generator:
+        dep = self.deployment
+        for _ in range(event.cycles):
+            dep.fail_node(event.node)
+            self._note(f"flap-down node {event.node}")
+            yield self.env.timeout(event.period)
+            dep.recover_node(event.node)
+            self._note(f"flap-up node {event.node}")
+            yield self.env.timeout(event.period)

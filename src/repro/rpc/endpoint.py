@@ -78,9 +78,12 @@ class RPCEndpoint:
         self.name = name or f"ep@{node_id}"
         self._handlers: dict[str, Callable[..., Generator]] = {}
         self._alive = True
+        self._hung = False
 
     def __repr__(self) -> str:
         state = "up" if self._alive else "DOWN"
+        if self._hung:
+            state = "HUNG"
         return f"<RPCEndpoint {self.name} node={self.node_id} {state}>"
 
     # -- server side ---------------------------------------------------
@@ -103,6 +106,21 @@ class RPCEndpoint:
 
     def restart(self) -> None:
         self._alive = True
+        self._hung = False
+
+    @property
+    def hung(self) -> bool:
+        return self._hung
+
+    def hang(self) -> None:
+        """Gray failure: the endpoint keeps accepting requests but its
+        progress loop stops — no handler runs, no reply is ever sent.
+        Unlike :meth:`shutdown`, callers get *nothing*, not an error;
+        only their own deadline can detect a hang."""
+        self._hung = True
+
+    def unhang(self) -> None:
+        self._hung = False
 
     # -- client side -----------------------------------------------------
     def call(
@@ -126,9 +144,15 @@ class RPCEndpoint:
         env = self.env
 
         # Request header (+ inline payload) crosses the wire.
-        yield from self.fabric.transfer(
+        delivered = yield from self.fabric.transfer(
             self.node_id, target.node_id, _HEADER_BYTES + payload_bytes
         )
+        if not delivered:
+            # Request lost in the fabric: the caller learns nothing until
+            # its own deadline expires (there is no negative ack).
+            if timeout is not None:
+                yield env.timeout(timeout)
+            raise RPCTimeout(f"{op} on {target.name}: request lost")
         if not target._alive:
             raise RPCError(f"endpoint {target.name} died mid-call")
 
@@ -158,6 +182,10 @@ class RPCEndpoint:
         response_bytes: int,
         done: Event,
     ) -> Generator:
+        if self._hung:
+            # A hung server's progress loop never dispatches the request;
+            # the caller's deadline is its only way out.
+            return
         handler = self._handlers.get(op)
         if handler is None:
             done.succeed((False, SimulationError(f"no handler for {op!r} on {self.name}")))
@@ -173,9 +201,16 @@ class RPCEndpoint:
             # Died while serving: response is lost.
             done.succeed((False, RPCError(f"endpoint {self.name} died")))
             return
-        yield from self.fabric.transfer(
+        if self._hung:
+            # Hung after serving: the reply is never posted.
+            return
+        delivered = yield from self.fabric.transfer(
             self.node_id, src, _HEADER_BYTES + response_bytes
         )
+        if not delivered:
+            # Reply lost in the fabric (Mercury cancel semantics): the
+            # caller sees only its deadline expire.
+            return
         done.succeed((True, value))
 
     # -- bulk ------------------------------------------------------------
