@@ -24,7 +24,7 @@ from typing import Callable, Optional
 from ..cluster import Allocation, ClusterSpec
 from ..core import HVACDeployment
 from ..dl.dataset import SyntheticDataset
-from ..simcore import Environment, MetricRegistry
+from ..simcore import Environment, MetricRegistry, RandomStreams
 from ..storage import GPFS, FileBackend, LocalFS
 
 __all__ = [
@@ -118,7 +118,10 @@ class XFSSetup(StorageSetup):
 
     def build(self, env, spec, n_nodes, dataset, seed=0) -> SystemHandle:
         metrics = MetricRegistry()
-        alloc = Allocation(env, spec, n_nodes, metrics=metrics)
+        alloc = Allocation(
+            env, spec, n_nodes, metrics=metrics,
+            rand=RandomStreams(seed).child("cluster"),
+        )
         backends = [
             LocalFS(env, node.node_id, node.nvme, metrics=metrics,
                     track_namespace=False)
@@ -184,7 +187,10 @@ class HVACSetup(StorageSetup):
     def build(self, env, spec, n_nodes, dataset, seed=0) -> SystemHandle:
         metrics = MetricRegistry()
         spec = spec.with_hvac(instances_per_node=self.instances)
-        alloc = Allocation(env, spec, n_nodes, metrics=metrics)
+        alloc = Allocation(
+            env, spec, n_nodes, metrics=metrics,
+            rand=RandomStreams(seed).child("cluster"),
+        )
         pfs = _make_pfs(env, spec, n_nodes, metrics)
         dep = HVACDeployment(alloc, pfs, seed=seed, metrics=metrics)
         return SystemHandle(
@@ -210,7 +216,10 @@ class LPCCLikeSetup(StorageSetup):
 
     def build(self, env, spec, n_nodes, dataset, seed=0) -> SystemHandle:
         metrics = MetricRegistry()
-        alloc = Allocation(env, spec, n_nodes, metrics=metrics)
+        alloc = Allocation(
+            env, spec, n_nodes, metrics=metrics,
+            rand=RandomStreams(seed).child("cluster"),
+        )
         pfs = _make_pfs(env, spec, n_nodes, metrics)
         dep = HVACDeployment.with_locality_split(
             alloc, pfs, local_fraction=1.0, seed=seed

@@ -1,0 +1,130 @@
+"""``repro check`` — the determinism & sim-safety analyzer.
+
+Two halves, both runnable from the CLI and from tests:
+
+* **Static**: an AST lint pass (:mod:`.rules`, :mod:`.linter`) with
+  repro-specific rules SIM001–SIM007 guarding the engine's bit-for-bit
+  determinism contract (see docs/INTERNALS.md).
+* **Runtime**: event-stream fingerprinting (:class:`repro.simcore.EventTrace`)
+  plus a double-run comparison that, on divergence, bisects to the first
+  divergent kernel event (:mod:`.divergence`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from .divergence import DivergenceReport, find_first_divergence, fingerprint_run
+from .linter import lint_file, lint_paths, lint_source, scope_of
+from .rules import RULES, Violation
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "DivergenceReport",
+    "find_first_divergence",
+    "fingerprint_run",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "scope_of",
+    "default_lint_roots",
+    "run_lint",
+    "run_determinism",
+    "run_check",
+]
+
+
+def default_lint_roots() -> list[str]:
+    """The in-tree source root, resolved from this package's location."""
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return [pkg_root]  # .../src/repro
+
+
+def run_lint(paths: list[str] | None = None, verbose: bool = True) -> int:
+    """Lint the tree; print violations; return an exit code."""
+    roots = paths or default_lint_roots()
+    violations = lint_paths(roots)
+    for v in violations:
+        print(v.render())
+    if verbose:
+        from .linter import _iter_python_files
+
+        n_files = sum(1 for root in roots for _ in _iter_python_files(root))
+        status = "clean" if not violations else f"{len(violations)} violation(s)"
+        print(f"simlint: {n_files} file(s) checked, {status}")
+    return 1 if violations else 0
+
+
+def _epochs_run(seed: int, n_nodes: int, files_per_rank: int):
+    """A small same-seed ``epochs``-style experiment as a trace runnable."""
+    from ..dl import IMAGENET21K, ALL_MODELS
+    from ..experiments import Scale, run_training
+
+    scale = Scale(
+        files_per_rank=files_per_rank,
+        sim_batch_size=2,
+        repetitions=1,
+        procs_per_node=2,
+        epochs_simulated=2,
+    )
+
+    def run(trace):
+        run_training(
+            "hvac2",
+            ALL_MODELS["resnet50"],
+            IMAGENET21K,
+            n_nodes,
+            scale,
+            seed=seed,
+            trace=trace,
+        )
+
+    return run
+
+
+def run_determinism(
+    seed: int = 0,
+    n_nodes: int = 2,
+    files_per_rank: int = 4,
+    block: int = 2048,
+    verbose: bool = True,
+) -> int:
+    """Run the epochs experiment twice with one seed; compare fingerprints."""
+    run = _epochs_run(seed, n_nodes, files_per_rank)
+    a = fingerprint_run(run, checkpoint_every=block)
+    b = fingerprint_run(run, checkpoint_every=block)
+    report = find_first_divergence(run, block=block, traces=(a, b))
+    if report is None:
+        if verbose:
+            print(
+                f"determinism: OK — two seed={seed} runs produced identical "
+                f"event streams ({a.count} events, fingerprint {a.fingerprint})"
+            )
+        return 0
+    print(f"determinism: FAILED (seed={seed})")
+    print(report.describe())
+    return 1
+
+
+def run_check(
+    paths: list[str] | None = None,
+    lint_only: bool = False,
+    determinism_only: bool = False,
+    seed: int = 0,
+    n_nodes: int = 2,
+    files_per_rank: int = 4,
+    block: int = 2048,
+) -> int:
+    """The full ``repro check``: lint, then the double-run comparison."""
+    rc = 0
+    if not determinism_only:
+        rc |= run_lint(paths)
+    if not lint_only:
+        rc |= run_determinism(
+            seed=seed,
+            n_nodes=n_nodes,
+            files_per_rank=files_per_rank,
+            block=block,
+        )
+    return rc

@@ -1,0 +1,119 @@
+"""Runtime determinism check: double-run fingerprints + divergence bisection.
+
+``repro check`` runs an experiment twice with the same seed, each run
+feeding an :class:`~repro.simcore.EventTrace` attached to its
+environment.  Matching fingerprints prove the event streams — every
+``(time, priority, seq, process)`` the kernel fired — were identical.
+
+On a mismatch we *bisect*: the first pass already snapshotted the
+rolling hash every ``block`` events, so comparing checkpoint lists
+narrows the divergence to one block without storing the stream; a
+second pair of runs retains only that block's records and a pairwise
+scan pins the **first divergent event**, which is almost always within
+a few events of the offending code (a stray RNG, a set iteration, an
+un-yielded timeout reordering the queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..simcore import EventRecord, EventTrace
+
+__all__ = ["DivergenceReport", "find_first_divergence", "fingerprint_run"]
+
+#: a runnable experiment: build an env, attach the trace, run to completion
+RunFn = Callable[[EventTrace], None]
+
+
+@dataclass
+class DivergenceReport:
+    """Where two same-seed runs first disagreed."""
+
+    index: int  #: stream position of the first divergent event
+    first: Optional[EventRecord]  #: run A's event at that position
+    second: Optional[EventRecord]  #: run B's event at that position
+    fingerprint_a: str
+    fingerprint_b: str
+    count_a: int
+    count_b: int
+
+    def describe(self) -> str:
+        lines = [
+            "event streams diverged:",
+            f"  run A: {self.count_a} events, fingerprint {self.fingerprint_a}",
+            f"  run B: {self.count_b} events, fingerprint {self.fingerprint_b}",
+            f"  first divergent event at stream index {self.index}:",
+            f"    run A: {self.first.describe() if self.first else '<stream ended>'}",
+            f"    run B: {self.second.describe() if self.second else '<stream ended>'}",
+        ]
+        return "\n".join(lines)
+
+
+def fingerprint_run(run: RunFn, checkpoint_every: int = 0) -> EventTrace:
+    """Execute ``run`` once under a fresh trace and return it."""
+    trace = EventTrace(checkpoint_every=checkpoint_every)
+    run(trace)
+    return trace
+
+
+def _divergent_block(
+    a: EventTrace, b: EventTrace, block: int
+) -> tuple[int, int]:
+    """Half-open record range bracketing the first divergence."""
+    for i, (ca, cb) in enumerate(zip(a.checkpoints, b.checkpoints)):
+        if ca != cb:
+            return i * block, (i + 1) * block
+    # All shared checkpoints agree: the divergence is in the tail
+    # (or one stream simply ended early).
+    shared = min(len(a.checkpoints), len(b.checkpoints))
+    return shared * block, max(a.count, b.count)
+
+
+def find_first_divergence(
+    run: RunFn,
+    block: int = 2048,
+    traces: Optional[tuple[EventTrace, EventTrace]] = None,
+) -> Optional[DivergenceReport]:
+    """Run twice; return ``None`` if deterministic, else the bisected
+    first divergent event.
+
+    Costs two fingerprint-only runs (skipped when ``traces`` carries a
+    precomputed checkpointed pair), plus two record-retaining runs of
+    the same experiment only when a divergence exists.
+    """
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    if traces is not None:
+        a, b = traces
+    else:
+        a = fingerprint_run(run, checkpoint_every=block)
+        b = fingerprint_run(run, checkpoint_every=block)
+    if a.fingerprint == b.fingerprint and a.count == b.count:
+        return None
+
+    lo, hi = _divergent_block(a, b, block)
+    ra = EventTrace(keep_window=(lo, hi))
+    run(ra)
+    rb = EventTrace(keep_window=(lo, hi))
+    run(rb)
+
+    index, first, second = hi, None, None
+    for offset in range(hi - lo):
+        rec_a = ra.records[offset] if offset < len(ra.records) else None
+        rec_b = rb.records[offset] if offset < len(rb.records) else None
+        if rec_a is None and rec_b is None:
+            break
+        if rec_a is None or rec_b is None or rec_a[1:] != rec_b[1:]:
+            index, first, second = lo + offset, rec_a, rec_b
+            break
+    return DivergenceReport(
+        index=index,
+        first=first,
+        second=second,
+        fingerprint_a=a.fingerprint,
+        fingerprint_b=b.fingerprint,
+        count_a=a.count,
+        count_b=b.count,
+    )

@@ -1,0 +1,121 @@
+"""File walking, scope classification, and inline waivers for simlint.
+
+Usage::
+
+    from repro.check import lint_paths
+    violations = lint_paths(["src"])
+
+A violation can be silenced at the offending line (or the line directly
+above it) with an explicit, reasoned waiver::
+
+    gen = np.random.default_rng(s)  # simlint: waive SIM002 -- sanctioned site
+
+``# simlint: waive`` with no codes waives every rule on that line; a
+comma-separated code list waives only those.  Waivers are deliberately
+loud in the diff — the acceptance bar is "fixed or explicitly waived",
+never silently ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterable, Iterator
+
+from .rules import RULES, Violation, collect_violations
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "scope_of"]
+
+_WAIVE_RE = re.compile(r"#\s*simlint:\s*waive\b([^#\n]*)")
+
+#: package path fragments whose code legitimately touches real clocks,
+#: threads, and files — SIM001/SIM007 do not apply there
+_RUNTIME_PARTS = ("runtime", "posix")
+
+#: directories never descended into
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+
+
+def scope_of(path: str) -> str:
+    """``"runtime"`` for real-clock/thread packages, else ``"sim"``."""
+    parts = os.path.normpath(path).split(os.sep)
+    return "runtime" if any(p in _RUNTIME_PARTS for p in parts) else "sim"
+
+
+def _waived_codes(line: str) -> set[str] | None:
+    """Codes waived by ``line``'s comment: a set, ``{"*"}`` for all,
+    or ``None`` when there is no waiver."""
+    m = _WAIVE_RE.search(line)
+    if m is None:
+        return None
+    codes = set(re.findall(r"SIM\d{3}", m.group(1)))
+    return codes or {"*"}
+
+
+def _apply_waivers(
+    violations: list[Violation], lines: list[str]
+) -> list[Violation]:
+    kept = []
+    for v in violations:
+        waived = False
+        # the flagged line itself, then a comment-only line above it
+        for lineno in (v.line, v.line - 1):
+            if not 1 <= lineno <= len(lines):
+                continue
+            text = lines[lineno - 1]
+            if lineno != v.line and not text.lstrip().startswith("#"):
+                continue
+            codes = _waived_codes(text)
+            if codes is not None and ("*" in codes or v.rule in codes):
+                waived = True
+                break
+        if not waived:
+            kept.append(v)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    scope: str | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint one module's source text (the fixture-test entry point)."""
+    tree = ast.parse(source, filename=path)
+    violations = collect_violations(
+        tree, path, scope=scope or scope_of(path), rules=rules
+    )
+    violations = _apply_waivers(violations, source.splitlines())
+    violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(path: str, rules: Iterable[str] | None = None) -> list[Violation]:
+    with open(path, encoding="utf-8") as fh:
+        return lint_source(fh.read(), path=path, rules=rules)
+
+
+def _iter_python_files(root: str) -> Iterator[str]:
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Iterable[str] | None = None
+) -> list[Violation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    unknown = set(rules or ()) - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+    violations: list[Violation] = []
+    for root in paths:
+        for path in _iter_python_files(root):
+            violations.extend(lint_file(path, rules=rules))
+    return violations

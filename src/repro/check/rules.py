@@ -1,0 +1,368 @@
+"""AST rules for the sim-safety linter (``repro check``).
+
+Each rule guards one way the reproduction's bit-for-bit determinism
+contract (docs/INTERNALS.md, "Determinism contract") has been broken in
+the wild, or plausibly will be:
+
+========  ============================================================
+SIM001    wall-clock reads (``time.time`` & friends) in sim code
+SIM002    RNG constructed or global-state RNG drawn outside
+          :class:`repro.simcore.rand.RandomStreams`
+SIM003    salted builtin ``hash()`` used for placement/ordering
+SIM004    iteration over an unordered ``set`` (scheduling/RNG hazards)
+SIM005    an event created in a process generator but never yielded
+SIM006    ``==``/``!=`` on float sim timestamps (``env.now``)
+SIM007    blocking calls (``time.sleep``, bare ``.join()``) in sim code
+========  ============================================================
+
+The rules are deliberately heuristic: they aim at the handful of
+patterns that actually corrupt replay determinism, and anything flagged
+in error can be waived inline with ``# simlint: waive SIMxxx -- why``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["RULES", "Violation", "collect_violations"]
+
+#: rule code -> one-line rationale (mirrored in docs/INTERNALS.md)
+RULES: dict[str, str] = {
+    "SIM001": "wall-clock read in sim code; simulated time must come from env.now",
+    "SIM002": "RNG constructed/drawn outside simcore.rand.RandomStreams; "
+    "use a named stream so draws in one component don't perturb another",
+    "SIM003": "builtin hash() is salted per interpreter; use "
+    "simcore.rand.stable_hash64 for cross-run-stable placement/ordering",
+    "SIM004": "iterating an unordered set; order feeds scheduling/RNG — "
+    "iterate sorted(...) or keep an ordered structure",
+    "SIM005": "event created but discarded inside a process generator; "
+    "did you forget to yield it?",
+    "SIM006": "== / != on float sim timestamps; compare with <=/>= or a tolerance",
+    "SIM007": "blocking call in sim code; real threads/sleeps break the "
+    "single-threaded deterministic event loop",
+}
+
+#: SIM001 targets (fully-qualified after import-alias resolution)
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: SIM002 targets: RNG constructors and module-global-state draws
+_RNG_CONSTRUCT = {
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+_RNG_GLOBAL_DRAW = {
+    "random.seed",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "numpy.random.seed",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.randint",
+    "numpy.random.random",
+    "numpy.random.choice",
+    "numpy.random.shuffle",
+    "numpy.random.permutation",
+    "numpy.random.uniform",
+}
+
+#: SIM005: pure-condition factories whose result is useless unless yielded
+_EVENT_FACTORIES = {"timeout", "event", "all_of", "any_of"}
+
+#: SIM007 module-level blocking calls
+_BLOCKING = {"time.sleep", "input"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, addressable as ``path:line``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The leftmost name of an attribute chain (``a`` for ``a.b.c``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _SimVisitor(ast.NodeVisitor):
+    """One file's worth of rule checks."""
+
+    def __init__(self, path: str, scope: str, active: set[str]):
+        self.path = path
+        self.scope = scope  # "sim" | "runtime"
+        self.active = active
+        self.violations: list[Violation] = []
+        #: local alias -> canonical module ("np" -> "numpy")
+        self._imports: dict[str, str] = {}
+        #: names / self-attributes known to be bound to sets
+        self._set_names: set[str] = set()
+        #: stack of (function node, is_generator)
+        self._funcs: list[tuple[ast.AST, bool]] = []
+
+    # -- plumbing ---------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str | None = None) -> None:
+        if rule not in self.active:
+            return
+        self.violations.append(
+            Violation(
+                rule,
+                self.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0),
+                message or RULES[rule],
+            )
+        )
+
+    def _qualname(self, node: ast.expr) -> str | None:
+        """Dotted name of a call target with import aliases resolved.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng``;
+        ``__import__("random").Random`` -> ``random.Random``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(self._imports.get(node.id, node.id))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "__import__"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            parts.append(node.args[0].value)
+        else:
+            return None
+        return ".".join(reversed(parts))
+
+    # -- import tracking --------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if node.module:
+                self._imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # -- set-binding tracking (SIM004) ------------------------------------
+    @staticmethod
+    def _bound_name(target: ast.expr) -> str | None:
+        """``x`` or ``self.x`` assignment targets, keyed by bare name."""
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            return target.attr
+        return None
+
+    def _is_set_expr(self, node: ast.expr | None) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        ):
+            return True
+        name = self._bound_name(node) if isinstance(node, (ast.Name, ast.Attribute)) else None
+        return name is not None and name in self._set_names
+
+    def _note_binding(self, target: ast.expr, value: ast.expr | None,
+                      annotation: ast.expr | None = None) -> None:
+        name = self._bound_name(target)
+        if name is None:
+            return
+        is_set = self._is_set_expr(value)
+        if annotation is not None:
+            ann = ast.unparse(annotation)
+            is_set = is_set or ann.split("[")[0] in (
+                "set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet"
+            )
+        if is_set:
+            self._set_names.add(name)
+        elif value is not None:
+            self._set_names.discard(name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_binding(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._note_binding(node.target, node.value, node.annotation)
+        self.generic_visit(node)
+
+    # -- iteration contexts (SIM004) ---------------------------------------
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if self._is_set_expr(iter_node):
+            self._emit("SIM004", iter_node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = visit_SetComp = visit_DictComp = visit_GeneratorExp = _visit_comp
+
+    # -- function context (SIM005/SIM007) ----------------------------------
+    @staticmethod
+    def _is_generator(node) -> bool:
+        """Does this function contain a yield of its own (ignoring
+        nested defs/lambdas)?"""
+        stack = list(ast.iter_child_nodes(node))
+        while stack:
+            child = stack.pop()
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, (ast.Yield, ast.YieldFrom)):
+                return True
+            stack.extend(ast.iter_child_nodes(child))
+        return False
+
+    def _visit_func(self, node) -> None:
+        self._funcs.append((node, self._is_generator(node)))
+        self.generic_visit(node)
+        self._funcs.pop()
+
+    visit_FunctionDef = visit_AsyncFunctionDef = _visit_func
+
+    @property
+    def _in_generator(self) -> bool:
+        return bool(self._funcs) and self._funcs[-1][1]
+
+    # -- statement-level (SIM005) -------------------------------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if self._in_generator and isinstance(value, ast.Call):
+            func = value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _EVENT_FACTORIES
+                and (_root_name(func.value) or "").endswith("env")
+            ) or (
+                isinstance(func, ast.Name)
+                and func.id in ("Timeout", "AllOf", "AnyOf")
+            ):
+                self._emit("SIM005", node)
+        self.generic_visit(node)
+
+    # -- comparisons (SIM006) ------------------------------------------------
+    @staticmethod
+    def _is_sim_clock(node: ast.expr) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "now"
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, (lhs, rhs) in zip(node.ops, zip(operands, operands[1:])):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                self._is_sim_clock(lhs) or self._is_sim_clock(rhs)
+            ):
+                self._emit("SIM006", node)
+                break
+        self.generic_visit(node)
+
+    # -- calls (SIM001/002/003/007) -------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self._qualname(node.func)
+        if qual is not None:
+            if self.scope == "sim" and qual in _WALL_CLOCK:
+                self._emit("SIM001", node)
+            if qual in _RNG_CONSTRUCT:
+                self._emit("SIM002", node)
+            elif qual in _RNG_GLOBAL_DRAW:
+                self._emit(
+                    "SIM002", node,
+                    RULES["SIM002"] + " (module-global RNG state)",
+                )
+            if self.scope == "sim" and qual in _BLOCKING:
+                self._emit("SIM007", node)
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self._emit("SIM003", node)
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "iter", "enumerate", "max", "min")
+            and node.args
+        ):
+            # materializing/iterating a set fixes its (unordered) order
+            self._check_iteration(node.args[0])
+        if (
+            self.scope == "sim"
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and not node.args
+            and all(kw.arg == "timeout" for kw in node.keywords)
+        ):
+            # str.join always takes a positional iterable; a bare
+            # .join() / .join(timeout=...) is a thread join.
+            self._emit("SIM007", node, RULES["SIM007"] + " (thread join)")
+        self.generic_visit(node)
+
+
+def collect_violations(
+    tree: ast.AST,
+    path: str,
+    scope: str = "sim",
+    rules: Iterable[str] | None = None,
+) -> list[Violation]:
+    """All rule hits in one parsed module.
+
+    ``scope`` is ``"sim"`` for code that runs under the DES kernel and
+    ``"runtime"`` for code that legitimately touches real clocks and
+    threads (``repro.runtime``, ``repro.posix``); the wall-clock and
+    blocking rules only apply to sim scope.
+    """
+    active = set(rules) if rules is not None else set(RULES)
+    visitor = _SimVisitor(path, scope, active)
+    visitor.visit(tree)
+    return visitor.violations

@@ -168,6 +168,20 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .check import run_check
+
+    return run_check(
+        paths=args.paths or None,
+        lint_only=args.lint_only,
+        determinism_only=args.determinism_only,
+        seed=args.seed,
+        n_nodes=args.nodes,
+        files_per_rank=args.files_per_rank,
+        block=args.block,
+    )
+
+
 def cmd_resilience(args: argparse.Namespace) -> int:
     sweep = resilience_sweep(
         fail_fractions=args.fractions,
@@ -247,6 +261,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fractions of nodes to crash")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_resilience)
+
+    p = sub.add_parser(
+        "check",
+        help="determinism & sim-safety analyzer: SIM lint rules + "
+        "same-seed double-run event-stream fingerprint comparison",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to lint (default: the installed repro tree)")
+    p.add_argument("--lint-only", action="store_true",
+                   help="skip the double-run determinism check")
+    p.add_argument("--determinism-only", action="store_true",
+                   help="skip the lint pass")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nodes", type=int, default=2,
+                   help="nodes in the determinism-check experiment")
+    p.add_argument("--files-per-rank", type=int, default=4)
+    p.add_argument("--block", type=int, default=2048,
+                   help="fingerprint checkpoint interval (bisection grain)")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("train", help="one training simulation")
     p.add_argument("--system", default="hvac1",

@@ -29,14 +29,12 @@ from __future__ import annotations
 
 from typing import Generator
 
-import numpy as np
-
 from ..simcore import (
     Environment,
     MetricRegistry,
+    RandomStreams,
     Resource,
     SimulationError,
-    stable_hash64,
 )
 from .specs import NetworkSpec
 
@@ -61,6 +59,7 @@ class Fabric:
         spec: NetworkSpec,
         n_nodes: int,
         metrics: MetricRegistry | None = None,
+        rand: RandomStreams | None = None,
     ):
         if n_nodes <= 0:
             raise SimulationError("n_nodes must be positive")
@@ -94,16 +93,18 @@ class Fabric:
         #: (src, dst) -> (drop probability, extra one-way delay)
         self._link_faults: dict[tuple[int, int], tuple[float, float]] = {}
         self._partitioned: set[int] = set()
-        self._fault_rng = np.random.default_rng(
-            stable_hash64("fabric.faults", n_nodes) & 0x7FFFFFFFFFFFFFFF
-        )
+        # Drop decisions draw from a named child of the experiment's
+        # stream tree (or a default tree keyed on the fabric size), so
+        # flaky-link runs replay bit-for-bit and drawing drops never
+        # perturbs any other component's stream.
+        self._fault_rng = (
+            rand if rand is not None else RandomStreams(n_nodes)
+        ).child("fabric").stream("drops")
 
     # -- fault injection -------------------------------------------------
     def seed_faults(self, seed: int) -> None:
         """Re-seed the drop-decision stream (deterministic experiments)."""
-        self._fault_rng = np.random.default_rng(
-            stable_hash64("fabric.faults", seed) & 0x7FFFFFFFFFFFFFFF
-        )
+        self._fault_rng = RandomStreams(seed).child("fabric").stream("drops")
 
     def set_link_fault(
         self,

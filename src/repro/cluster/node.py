@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..simcore import Environment, MetricRegistry
+from ..simcore import Environment, MetricRegistry, RandomStreams
 from .network import Fabric
 from .nvme import NVMeDevice
 from .specs import ClusterSpec
@@ -53,6 +53,7 @@ class Allocation:
         spec: ClusterSpec,
         n_nodes: int,
         metrics: MetricRegistry | None = None,
+        rand: RandomStreams | None = None,
     ):
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
@@ -63,7 +64,9 @@ class Allocation:
         self.env = env
         self.spec = spec
         self.metrics = metrics or MetricRegistry()
-        self.fabric = Fabric(env, spec.network, n_nodes, metrics=self.metrics)
+        self.fabric = Fabric(
+            env, spec.network, n_nodes, metrics=self.metrics, rand=rand
+        )
         self.nodes = [
             ComputeNode(env, i, spec, self.metrics) for i in range(n_nodes)
         ]

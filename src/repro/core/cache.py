@@ -133,6 +133,13 @@ class MinIOEviction(EvictionPolicy):
 
 
 def make_policy(name: str, rng: np.random.Generator) -> EvictionPolicy:
+    """Build a policy by name.
+
+    ``rng`` (used by ``random`` only) must be a named stream derived
+    from the experiment's :class:`~repro.simcore.RandomStreams` tree —
+    never a locally minted generator — so eviction draws replay
+    bit-for-bit and stay isolated from every other component (SIM002).
+    """
     if name == "random":
         return RandomEviction(rng)
     if name == "lru":

@@ -109,7 +109,7 @@ class HVACDeployment:
                         fabric=allocation.fabric,
                         spec=self.spec,
                         cache_capacity=per_instance_capacity,
-                        rng=rand.child(f"server{server_id}").stream("evict"),
+                        rand=rand.child(f"server{server_id}"),
                         metrics=self.metrics,
                     )
                 )

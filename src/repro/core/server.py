@@ -22,12 +22,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator
 
-import numpy as np
-
 from ..cluster import Fabric
 from ..cluster.specs import ClusterSpec
 from ..rpc import RPCEndpoint, RPCError
-from ..simcore import AllOf, Environment, Event, MetricRegistry, Resource, Store
+from ..simcore import (
+    AllOf,
+    Environment,
+    Event,
+    MetricRegistry,
+    RandomStreams,
+    Resource,
+    Store,
+)
 from ..storage.base import FileBackend
 from ..storage.localfs import LocalFS
 from .cache import CacheManager, make_policy
@@ -65,7 +71,7 @@ class HVACServer:
         fabric: Fabric,
         spec: ClusterSpec,
         cache_capacity: int,
-        rng: np.random.Generator,
+        rand: RandomStreams,
         metrics: MetricRegistry | None = None,
     ):
         self.env = env
@@ -82,7 +88,10 @@ class HVACServer:
             env,
             localfs,
             capacity_bytes=cache_capacity,
-            policy=make_policy(spec.hvac.eviction_policy, rng),
+            # Eviction draws come from this server's own named stream of
+            # the experiment tree, so victim choices replay bit-for-bit
+            # and never perturb another component's draw sequence.
+            policy=make_policy(spec.hvac.eviction_policy, rand.stream("evict")),
             metrics=self.metrics,
             name=f"hvac{server_id}.cache",
         )

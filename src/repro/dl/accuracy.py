@@ -91,7 +91,7 @@ class SGDTrainer:
         self.task = task
         self.lr = lr
         self.batch_size = batch_size
-        rng = np.random.default_rng(weight_seed)
+        rng = RandomStreams(weight_seed).stream("weights")
         self.w = rng.normal(
             0.0, 0.01, size=(task.n_features + 1, task.n_classes)
         )

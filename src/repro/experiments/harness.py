@@ -76,6 +76,7 @@ def run_training(
     epochs: int | None = None,
     seed: int = 0,
     concurrent_jobs: int = 1,
+    trace=None,
 ) -> TrainingResult:
     """Training simulation on one storage system.
 
@@ -86,6 +87,10 @@ def run_training(
     contending for the PFS, the HVAC servers, and the NVMe.  The
     returned result is the first job's (they are statistically
     identical); its ``epoch_times`` include the contention.
+
+    ``trace`` (an :class:`~repro.simcore.EventTrace`) is attached to the
+    freshly built environment so ``repro check`` can fingerprint the
+    run's event stream.
     """
     if concurrent_jobs < 1:
         raise ValueError("concurrent_jobs must be >= 1")
@@ -98,6 +103,8 @@ def run_training(
         dataset_spec.n_train_files, max(n_ranks, n_ranks * scale.files_per_rank)
     )
     env = Environment()
+    if trace is not None:
+        env.attach_trace(trace)
     # The handle is sized by one job's dataset; jobs use distinct paths
     # (distinct dataset seeds) so they don't share cache entries.
     datasets = []

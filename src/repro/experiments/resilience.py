@@ -25,7 +25,7 @@ from ..analysis import format_table
 from ..cluster import Allocation, ClusterSpec, TESTING
 from ..core import HVACDeployment
 from ..faults import FaultSchedule, crash, degrade, flaky_link, flap, hang
-from ..simcore import AllOf, Environment
+from ..simcore import AllOf, Environment, RandomStreams
 from ..storage import GPFS
 
 __all__ = [
@@ -52,7 +52,9 @@ def _fault_spec(spec: ClusterSpec | None, **overrides) -> ClusterSpec:
 
 def _build(spec: ClusterSpec, n_nodes: int, seed: int):
     env = Environment()
-    alloc = Allocation(env, spec, n_nodes=n_nodes)
+    alloc = Allocation(
+        env, spec, n_nodes=n_nodes, rand=RandomStreams(seed).child("cluster")
+    )
     pfs = GPFS(env, spec.pfs, n_nodes, spec.network.nic_bandwidth)
     dep = HVACDeployment(alloc, pfs, seed=seed)
     return env, dep, pfs

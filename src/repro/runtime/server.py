@@ -26,6 +26,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from queue import Queue
 
+from ..simcore.rand import RandomStreams
+
 __all__ = ["RuntimeServer", "ServerStats"]
 
 # Bind the true builtin at import time: the interposer monkeypatches
@@ -85,7 +87,9 @@ class RuntimeServer:
         # No separate in-flight table is needed here: the single mover
         # thread serializes this server's requests, so a duplicate
         # first-read simply becomes a hit when its turn comes.
-        self._rng = __import__("random").Random(server_id)
+        # Random eviction draws from a named RandomStreams child so the
+        # victim sequence is reproducible across runs and interpreters.
+        self._rng = RandomStreams(server_id).child("runtime-server").stream("evict")
         self._mover = threading.Thread(
             target=self._drain, name=f"hvac-mover-{server_id}", daemon=True
         )
@@ -175,7 +179,8 @@ class RuntimeServer:
                 if self.eviction == "lru":
                     victim, vsize = self._cached.popitem(last=False)
                 else:
-                    victim = self._rng.choice(list(self._cached))
+                    resident = list(self._cached)
+                    victim = resident[int(self._rng.integers(len(resident)))]
                     vsize = self._cached.pop(victim)
                 self._used -= vsize
                 self.stats.evictions += 1

@@ -16,6 +16,7 @@ from .monitor import Counter, MetricRegistry, Series, Tally
 from .rand import RandomStreams, stable_hash64
 from .resources import Container, PriorityResource, Resource
 from .stores import FilterStore, PriorityStore, Store, StoreFull
+from .trace import EventRecord, EventTrace
 
 __all__ = [
     "AllOf",
@@ -25,6 +26,8 @@ __all__ = [
     "Counter",
     "Environment",
     "Event",
+    "EventRecord",
+    "EventTrace",
     "FilterStore",
     "Interrupt",
     "MetricRegistry",

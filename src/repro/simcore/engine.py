@@ -412,6 +412,21 @@ class Environment:
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = itertools.count()
         self._active_proc: Optional[Process] = None
+        # Opt-in event-stream fingerprinting (see simcore/trace.py).
+        self._trace = None
+
+    # -- tracing -------------------------------------------------------
+    @property
+    def trace(self):
+        """The attached :class:`~repro.simcore.trace.EventTrace`, if any."""
+        return self._trace
+
+    def attach_trace(self, trace) -> None:
+        """Fingerprint every fired event into ``trace`` from now on."""
+        self._trace = trace
+
+    def detach_trace(self) -> None:
+        self._trace = None
 
     # -- public surface ----------------------------------------------
     @property
@@ -454,9 +469,15 @@ class Environment:
     def step(self) -> None:
         """Process the next scheduled event."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, priority, seq, event = heapq.heappop(self._queue)
         except IndexError:
             raise SimulationError("No scheduled events") from None
+
+        if self._trace is not None:
+            label = type(event).__name__
+            if isinstance(event, Process):
+                label = f"Process:{event.name}"
+            self._trace.record(self._now, priority, seq, label)
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

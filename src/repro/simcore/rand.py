@@ -43,6 +43,7 @@ class RandomStreams:
         gen = self._streams.get(name)
         if gen is None:
             child_seed = stable_hash64(self.seed, name) & 0x7FFFFFFFFFFFFFFF
+            # simlint: waive SIM002 -- the sanctioned construction site
             gen = np.random.default_rng(child_seed)
             self._streams[name] = gen
         return gen
