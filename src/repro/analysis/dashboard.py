@@ -1,0 +1,117 @@
+"""SLO degradation dashboard: labeled runs, side by side.
+
+Renders one or more :class:`~repro.obs.SLOReport`\\ s (e.g. a no-fault
+baseline next to a crash-at-t run of the same scenario) as plain-text
+tables plus a per-window degraded-fraction strip, so a fault's effect on
+read SLOs is visible at a glance: tail latencies shift, the degraded
+fraction spikes in the windows after the fault, and delivered bytes
+migrate from the NVMe-local / remote-RPC paths onto the PFS fallback.
+
+Both reports must be computed over the same absolute ``[t0, t1)`` range
+and window width (:func:`~repro.obs.compute_slo` aligns windows to
+``origin`` for exactly this reason) — otherwise rows aren't comparable
+and the strip's columns drift.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .tables import format_table
+
+__all__ = ["degradation_dashboard", "degradation_strip"]
+
+#: ten-level intensity ramp for the degraded-fraction strip
+_RAMP = " .:-=+*#%@"
+
+
+def degradation_strip(fractions: list[float]) -> str:
+    """One character per window: ' ' = clean, '@' = fully degraded."""
+    out = []
+    for f in fractions:
+        f = min(1.0, max(0.0, f))
+        out.append(_RAMP[min(len(_RAMP) - 1, int(f * len(_RAMP)))])
+    return "".join(out)
+
+
+def _totals_rows(reports: Mapping[str, object]) -> list[list]:
+    rows = []
+    for label, report in reports.items():
+        t = report.totals
+        rows.append([
+            label,
+            t.n_reads,
+            t.p50,
+            t.p95,
+            t.p99,
+            f"{t.degraded_fraction:.1%}",
+            t.bytes_by_path["local"],
+            t.bytes_by_path["remote"],
+            t.bytes_by_path["pfs"],
+        ])
+    return rows
+
+
+def _client_rows(report) -> list[list]:
+    rows = []
+    for cid in sorted(report.clients):
+        c = report.clients[cid]
+        rows.append([
+            cid,
+            c.n_reads,
+            c.p50,
+            c.p95,
+            c.p99,
+            f"{c.degraded_fraction:.1%}",
+            c.bytes_by_path["local"],
+            c.bytes_by_path["remote"],
+            c.bytes_by_path["pfs"],
+        ])
+    return rows
+
+
+def degradation_dashboard(
+    reports: Mapping[str, object],
+    title: str = "SLO degradation dashboard",
+    per_client: bool = True,
+) -> str:
+    """Render labeled :class:`~repro.obs.SLOReport`\\ s side by side.
+
+    ``reports`` maps a run label (``"baseline"``, ``"crash@0.01"``, …)
+    to its report; iteration order is display order.
+    """
+    if not reports:
+        raise ValueError("at least one report is required")
+    blocks: list[str] = [f"== {title} =="]
+
+    blocks.append(format_table(
+        ["run", "reads", "p50 (s)", "p95 (s)", "p99 (s)", "degraded",
+         "B local", "B remote", "B pfs"],
+        _totals_rows(reports),
+        title="-- read SLOs, whole run --",
+        float_fmt="{:.3e}",
+    ))
+
+    if per_client:
+        for label, report in reports.items():
+            blocks.append(format_table(
+                ["client", "reads", "p50 (s)", "p95 (s)", "p99 (s)",
+                 "degraded", "B local", "B remote", "B pfs"],
+                _client_rows(report),
+                title=f"-- per-client SLOs [{label}] --",
+                float_fmt="{:.3e}",
+            ))
+
+    strip_lines = ["-- degraded-read fraction per window "
+                   "(' '=0% … '@'=100%) --"]
+    width = max(len(label) for label in reports)
+    for label, report in reports.items():
+        fracs = [w.degraded_fraction for w in report.totals.windows]
+        strip_lines.append(f"{label.ljust(width)} |{degradation_strip(fracs)}|")
+    any_report = next(iter(reports.values()))
+    strip_lines.append(
+        f"{''.ljust(width)}  t=[{any_report.t0:.4g}, {any_report.t1:.4g}) s, "
+        f"window={any_report.window:.4g} s"
+    )
+    blocks.append("\n".join(strip_lines))
+    return "\n\n".join(blocks)

@@ -13,6 +13,8 @@ SIM004    iteration over an unordered ``set`` (scheduling/RNG hazards)
 SIM005    an event created in a process generator but never yielded
 SIM006    ``==``/``!=`` on float sim timestamps (``env.now``)
 SIM007    blocking calls (``time.sleep``, bare ``.join()``) in sim code
+SIM008    float reduction (``sum``/``fsum``/``np.sum``) over an
+          unordered ``set`` — accumulation order changes the result
 ========  ============================================================
 
 The rules are deliberately heuristic: they aim at the handful of
@@ -42,6 +44,9 @@ RULES: dict[str, str] = {
     "SIM006": "== / != on float sim timestamps; compare with <=/>= or a tolerance",
     "SIM007": "blocking call in sim code; real threads/sleeps break the "
     "single-threaded deterministic event loop",
+    "SIM008": "float reduction over an unordered set; FP addition is "
+    "non-associative, so accumulation order changes the result — "
+    "reduce over sorted(...) or an ordered container",
 }
 
 #: SIM001 targets (fully-qualified after import-alias resolution)
@@ -95,6 +100,9 @@ _EVENT_FACTORIES = {"timeout", "event", "all_of", "any_of"}
 
 #: SIM007 module-level blocking calls
 _BLOCKING = {"time.sleep", "input"}
+
+#: SIM008 qualified float reducers (the ``sum`` builtin is special-cased)
+_FLOAT_REDUCERS = {"math.fsum", "numpy.sum", "numpy.nansum"}
 
 
 @dataclass(frozen=True)
@@ -336,6 +344,13 @@ class _SimVisitor(ast.NodeVisitor):
         ):
             # materializing/iterating a set fixes its (unordered) order
             self._check_iteration(node.args[0])
+        if node.args and self._is_set_expr(node.args[0]) and (
+            (isinstance(node.func, ast.Name) and node.func.id == "sum")
+            or qual in _FLOAT_REDUCERS
+        ):
+            # accumulation order over a set is the hash order; float
+            # addition is non-associative, so the total drifts with it
+            self._emit("SIM008", node)
         if (
             self.scope == "sim"
             and isinstance(node.func, ast.Attribute)

@@ -30,6 +30,7 @@ from .experiments import (
     overhead_vs_xfs,
     resilience_sweep,
     run_training,
+    slo_scenario,
 )
 
 __all__ = ["main"]
@@ -198,6 +199,28 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_slo(args: argparse.Namespace) -> int:
+    if args.smoke:
+        args.nodes = min(args.nodes, 3)
+        args.files = min(args.files, 12)
+        args.windows = min(args.windows, 8)
+    result = slo_scenario(
+        n_nodes=args.nodes,
+        n_files=args.files,
+        fault_time=args.fault_time,
+        fault_node=args.fault_node,
+        windows=args.windows,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.output_dir:
+        paths = result.write_artifacts(args.output_dir)
+        print()
+        for name, path in paths.items():
+            print(f"wrote {name}: {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HVAC reproduction toolkit"
@@ -261,6 +284,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fractions of nodes to crash")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_resilience)
+
+    p = sub.add_parser(
+        "slo",
+        help="SLO dashboard: span-level telemetry for a crash-at-t "
+        "scenario vs its no-fault baseline (+ JSONL span timelines)",
+    )
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--files", type=int, default=32,
+                   help="files per node per epoch")
+    p.add_argument("--fault-time", type=float, default=0.002,
+                   help="crash lands this many seconds into the epoch")
+    p.add_argument("--fault-node", type=int, default=1)
+    p.add_argument("--windows", type=int, default=12,
+                   help="SLO window count across the measured epoch")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-dir", default="",
+                   help="also write dashboard.txt + span-timeline JSONL here")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fast run (CI artifact smoke test)")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser(
         "check",

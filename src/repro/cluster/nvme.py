@@ -44,6 +44,9 @@ class NVMeDevice:
         self.spec = spec
         self.name = name
         self.metrics = metrics or MetricRegistry()
+        # All collectors live under the device's own dotted scope
+        # (``nvme.reads``, ``nvme.read_seconds``, ...).
+        self._scope = self.metrics.scope(name)
         self._queue = Resource(env, capacity=spec.queue_depth)
         # Media/bus bandwidth: command latencies overlap across the
         # queue, but data transfers share the device's rated bandwidth —
@@ -91,7 +94,7 @@ class NVMeDevice:
         if factor < 1.0:
             raise ValueError("degradation factor must be >= 1")
         self._slow_factor = float(factor)
-        self.metrics.counter(f"{self.name}.degradations").incr()
+        self._scope.counter("degradations").incr()
 
     def restore(self) -> None:
         """Return the device to rated performance."""
@@ -100,15 +103,19 @@ class NVMeDevice:
     # -- timed I/O ------------------------------------------------------
     def read(self, nbytes: int) -> Generator:
         """Read ``nbytes``; occupies a queue slot for the service time."""
+        t0 = self.env.now
         yield from self._io(nbytes, self.spec.read_latency, self.spec.read_bandwidth)
-        self.metrics.counter(f"{self.name}.reads").incr()
-        self.metrics.tally(f"{self.name}.read_bytes").add(nbytes)
+        self._scope.counter("reads").incr()
+        self._scope.tally("read_bytes").add(nbytes)
+        self._scope.histogram("read_seconds").add(self.env.now - t0)
 
     def write(self, nbytes: int) -> Generator:
         """Write ``nbytes`` (no implicit allocation — caller accounts)."""
+        t0 = self.env.now
         yield from self._io(nbytes, self.spec.write_latency, self.spec.write_bandwidth)
-        self.metrics.counter(f"{self.name}.writes").incr()
-        self.metrics.tally(f"{self.name}.write_bytes").add(nbytes)
+        self._scope.counter("writes").incr()
+        self._scope.tally("write_bytes").add(nbytes)
+        self._scope.histogram("write_seconds").add(self.env.now - t0)
 
     def open_close(self) -> Generator:
         """The filesystem (XFS) cost of an open+close pair."""

@@ -171,6 +171,7 @@ class CacheManager:
         self.policy = policy
         self.metrics = metrics or MetricRegistry()
         self.name = name
+        self._scope = self.metrics.scope(name)
         self._sizes: dict[str, int] = {}
         self._used = 0
 
@@ -190,7 +191,7 @@ class CacheManager:
         """Record a cache hit for recency-tracking policies."""
         if path in self._sizes:
             self.policy.on_access(path)
-            self.metrics.counter(f"{self.name}.hits").incr()
+            self._scope.counter("hits").incr()
 
     # -- mutation ------------------------------------------------------------
     def insert(self, path: str, size: int) -> Generator:
@@ -205,12 +206,12 @@ class CacheManager:
             self.touch(path)
             return True
         if size > self.capacity_bytes:
-            self.metrics.counter(f"{self.name}.uncacheable").incr()
+            self._scope.counter("uncacheable").incr()
             return False
         while self._used + size > self.capacity_bytes:
             victim = self.policy.victim()
             if victim is None:
-                self.metrics.counter(f"{self.name}.refused").incr()
+                self._scope.counter("refused").incr()
                 return False
             self._evict(victim)
         # Bookkeeping happens eagerly, before the timed device write, so
@@ -220,7 +221,7 @@ class CacheManager:
         self._sizes[path] = size
         self._used += size
         self.policy.on_insert(path)
-        self.metrics.counter(f"{self.name}.inserts").incr()
+        self._scope.counter("inserts").incr()
         yield from self.localfs.device.write(size)
         return True
 
@@ -229,7 +230,7 @@ class CacheManager:
         self._used -= size
         self.localfs.device.release(size)
         self.policy.on_delete(path)
-        self.metrics.counter(f"{self.name}.evictions").incr()
+        self._scope.counter("evictions").incr()
 
     def evict(self, path: str) -> None:
         """Explicit eviction (tests/teardown)."""
@@ -249,8 +250,10 @@ class CacheManager:
         if size is None:
             raise KeyError(path)
         self.touch(path)
+        t0 = self.env.now
         # No per-read open/close: the data mover keeps cache-file
         # descriptors open across requests (unlike the client-visible
         # XFS path, which pays the full <open, read, close> each time).
         yield from self.localfs.device.read(size)
+        self._scope.tally("read_seconds").add(self.env.now - t0)
         return size

@@ -18,11 +18,21 @@ out a probation period before being re-probed, and a bounded retry loop
 with exponential backoff + seeded jitter walks the replica list before
 degrading to direct PFS reads — a failed (or hung, or slow, or
 partitioned) NVMe costs performance, never the training run.
+
+Telemetry: when a :class:`~repro.obs.SpanRecorder` is attached, every
+intercepted ``read`` opens a root ``client.read`` span whose children
+trace the full causal path — ``rpc.read`` attempts (with timeout/error
+status), ``client.segment`` fan-out for striped files, and
+``pfs.fallback`` degradations — and whose annotations carry per-route
+byte counts (``bytes:local`` / ``bytes:remote`` / ``bytes:pfs``),
+detector ``strike`` events, and the ``degraded`` flag the SLO report
+aggregates.  Recording is pure list appends on the hot path; it never
+creates kernel events, so it cannot perturb the event stream.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from ..cluster.specs import ClusterSpec
 from ..faults import FailureDetector
@@ -55,6 +65,7 @@ class HVACClient(FileBackend):
         metrics: MetricRegistry | None = None,
         spread_replica_reads: bool = True,
         rand: RandomStreams | None = None,
+        spans=None,
     ):
         self.env = env
         self.node_id = node_id
@@ -65,16 +76,43 @@ class HVACClient(FileBackend):
         self.metrics = metrics or MetricRegistry()
         self.spread_replica_reads = spread_replica_reads
         self.rand = rand or RandomStreams(stable_hash64("hvac-client", node_id))
+        #: optional :class:`~repro.obs.SpanRecorder`
+        self.spans = spans
+        # Deployment-wide aggregate counters keep their historical names
+        # (``hvac.client_hits`` …); the per-client scope shadows each of
+        # them under ``hvac.c<node>.…`` for SLO attribution.
+        self._hvac = self.metrics.scope("hvac")
+        self._cscope = self._hvac.scope(f"c{node_id}")
         hvac = spec.hvac
         self.detector = FailureDetector(
             env,
             len(servers),
             suspect_after=hvac.suspect_after,
             probation=hvac.probation_period,
+            metrics=self._cscope.scope("detector"),
         )
         # The client endpoint shares the node's fabric ports.
         fabric = servers[0].endpoint.fabric
-        self.endpoint = RPCEndpoint(env, fabric, node_id, name=f"hvac-c@n{node_id}")
+        self.endpoint = RPCEndpoint(
+            env,
+            fabric,
+            node_id,
+            name=f"hvac-c@n{node_id}",
+            metrics=self._cscope.scope("rpc"),
+            spans=spans,
+        )
+
+    # -- telemetry helpers -------------------------------------------------
+    def _incr(self, name: str, n: int = 1) -> None:
+        """Bump a client counter at both aggregation levels."""
+        self._hvac.counter(name).incr(n)
+        self._cscope.counter(name).incr(n)
+
+    def _route_bytes(self, root: Optional[int], route: str, nbytes: int) -> None:
+        """Account ``nbytes`` delivered via ``route`` (local/remote/pfs)."""
+        self._incr(f"client_bytes_{route}", nbytes)
+        if self.spans is not None and root is not None:
+            self.spans.annotate(root, self.env.now, f"bytes:{route}", nbytes)
 
     # -- redirection -------------------------------------------------------
     def replica_order(self, path: str) -> list[int]:
@@ -125,7 +163,7 @@ class HVACClient(FileBackend):
         frameworks stat/open aggressively.
         """
         yield self.env.timeout(self.spec.hvac.client_request_overhead)
-        self.metrics.counter("hvac.client_opens").incr()
+        self._incr("client_opens")
         return OpenFile(path=path, size=size, backend=self, client_node=client_node)
 
     def read(self, handle: OpenFile, nbytes: int) -> Generator:
@@ -141,32 +179,60 @@ class HVACClient(FileBackend):
         nbytes = min(nbytes, handle.size - handle.offset)
         if nbytes <= 0:
             return 0
+        rec = self.spans
+        root = None
+        if rec is not None:
+            root = rec.begin(
+                "client.read",
+                self.env.now,
+                client=self.node_id,
+                path=handle.path,
+                bytes=nbytes,
+            )
+        t0 = self.env.now
         yield self.env.timeout(self.spec.hvac.client_request_overhead)
 
         hvac = self.spec.hvac
         if hvac.stripe_large_files and handle.size > hvac.stripe_threshold:
-            yield from self._read_striped(handle)
+            degraded = yield from self._read_striped(handle, root)
         else:
-            hit = yield from self._forward_read(
-                handle.path, handle.size, handle.client_node
+            hit, route, failures = yield from self._forward_read(
+                handle.path, handle.size, handle.client_node, parent=root
             )
+            degraded = failures > 0 or route == "pfs"
+            self._route_bytes(root, route, handle.size)
             if hit is not None:
-                self.metrics.counter(
-                    "hvac.client_hits" if hit else "hvac.client_misses"
-                ).incr()
+                self._incr("client_hits" if hit else "client_misses")
+        self._cscope.histogram("read_seconds").add(self.env.now - t0)
+        if degraded:
+            self._incr("client_degraded_reads")
+        if rec is not None:
+            if degraded:
+                rec.annotate(root, self.env.now, "degraded", 1)
+            rec.end(root, self.env.now)
         handle.offset += nbytes
         return nbytes
 
-    def _forward_read(self, path: str, size: int, client_node: int) -> Generator:
+    def _forward_read(
+        self,
+        path: str,
+        size: int,
+        client_node: int,
+        parent: Optional[int] = None,
+    ) -> Generator:
         """One forwarded read transaction (whole file or one segment).
 
-        Returns the server's hit flag, or None when served by PFS
-        fallback.  A bounded retry loop with backoff walks the
-        detector-approved replicas; every retry path terminates in the
-        PFS — a flapping server can cost at most ``rpc_max_retries``
-        strikes, never an unbounded recursion.
+        Returns ``(hit, route, failed_attempts)``: the server's hit flag
+        (None when served by PFS fallback), which path delivered the
+        bytes (``local`` / ``remote`` / ``pfs``), and how many attempts
+        struck out along the way.  A bounded retry loop with backoff
+        walks the detector-approved replicas; every retry path
+        terminates in the PFS — a flapping server can cost at most
+        ``rpc_max_retries`` strikes, never an unbounded recursion.
         """
         hvac = self.spec.hvac
+        rec = self.spans
+        failures = 0
         for attempt in range(hvac.rpc_max_retries):
             candidates = self._candidates(path)
             if not candidates:
@@ -177,34 +243,94 @@ class HVACClient(FileBackend):
                 # The server replies after its data mover has the bytes
                 # and bulk-pushes them here; the deadline covers the
                 # whole exchange (hung servers and lost replies look
-                # identical: silence).
+                # identical: silence).  The parent span id rides in the
+                # payload so the server's span tree links to ours.
                 hit = yield from self.endpoint.call(
                     server.endpoint,
                     "read",
-                    payload=(path, size),
+                    payload=(path, size, parent),
                     payload_bytes=len(path) + 16,
                     timeout=hvac.rpc_timeout,
+                    span=parent,
                 )
             except RPCTimeout:
+                failures += 1
                 self.detector.record_failure(sid)
-                self.metrics.counter("hvac.client_rpc_timeouts").incr()
+                self._incr("client_rpc_timeouts")
+                if rec is not None and parent is not None:
+                    rec.annotate(parent, self.env.now, "strike", sid)
             except RPCError:
+                failures += 1
                 self.detector.record_failure(sid)
-                self.metrics.counter("hvac.client_rpc_failures").incr()
+                self._incr("client_rpc_failures")
+                if rec is not None and parent is not None:
+                    rec.annotate(parent, self.env.now, "strike", sid)
             else:
                 self.detector.record_success(sid)
-                return hit
+                route = "local" if server.node_id == self.node_id else "remote"
+                return hit, route, failures
             if attempt + 1 < hvac.rpc_max_retries:
-                self.metrics.counter("hvac.client_retries").incr()
+                self._incr("client_retries")
                 yield self.env.timeout(self._backoff(attempt))
         # Every approved replica failed (or none is approved): degrade
         # to a direct PFS read — slower, but the training run survives.
-        self.metrics.counter("hvac.client_pfs_fallback").incr()
+        self._incr("client_pfs_fallback")
+        fb = None
+        if rec is not None:
+            fb = rec.begin(
+                "pfs.fallback", self.env.now, parent=parent, path=path, bytes=size
+            )
         yield from self.pfs.read_file(path, size, client_node)
-        return None
+        if rec is not None:
+            rec.end(fb, self.env.now)
+        return None, "pfs", failures
 
-    def _read_striped(self, handle: OpenFile) -> Generator:
-        """Fetch a large file as parallel segments from their homes."""
+    def _segment(
+        self,
+        seg_path: str,
+        length: int,
+        client_node: int,
+        root: Optional[int] = None,
+    ) -> Generator:
+        """One striped segment: forward, then account its own outcome.
+
+        Segments are first-class in the accounting: a file that loses a
+        single segment to a failed server is *partially* degraded, not a
+        whole-file miss (see :meth:`_read_striped`).
+        """
+        rec = self.spans
+        sp = None
+        if rec is not None:
+            sp = rec.begin(
+                "client.segment",
+                self.env.now,
+                parent=root,
+                path=seg_path,
+                bytes=length,
+            )
+        hit, route, failures = yield from self._forward_read(
+            seg_path, length, client_node, parent=sp if sp is not None else root
+        )
+        if hit is None:
+            self._incr("client_seg_fallbacks")
+        elif hit:
+            self._incr("client_seg_hits")
+        else:
+            self._incr("client_seg_misses")
+        self._route_bytes(root, route, length)
+        if rec is not None:
+            rec.annotate(sp, self.env.now, "route", route)
+            rec.end(sp, self.env.now, status="ok" if hit is not None else "fallback")
+        return hit, route, failures
+
+    def _read_striped(self, handle: OpenFile, root: Optional[int] = None) -> Generator:
+        """Fetch a large file as parallel segments from their homes.
+
+        Hit accounting is per segment: all segments cached →
+        ``client_hits``; some cached → ``client_partial_hits`` (the
+        delivered bytes split across routes accordingly); none →
+        ``client_misses``.  Returns whether any segment degraded.
+        """
         hvac = self.spec.hvac
         seg = hvac.stripe_segment
         fetches = []
@@ -215,19 +341,24 @@ class HVACClient(FileBackend):
             seg_path = f"{handle.path}#seg{index}"
             fetches.append(
                 self.env.process(
-                    self._forward_read(seg_path, length, handle.client_node),
+                    self._segment(seg_path, length, handle.client_node, root),
                     name="hvac.seg",
                 )
             )
             offset += length
             index += 1
         results = yield AllOf(self.env, fetches)
-        hits = [v for v in results.values()]
-        self.metrics.counter("hvac.client_striped_reads").incr()
-        if all(h for h in hits):
-            self.metrics.counter("hvac.client_hits").incr()
+        outcomes = list(results.values())
+        self._incr("client_striped_reads")
+        n_hit = sum(1 for hit, _, _ in outcomes if hit)
+        n_fallback = sum(1 for hit, _, _ in outcomes if hit is None)
+        if n_hit == len(outcomes):
+            self._incr("client_hits")
+        elif n_hit > 0:
+            self._incr("client_partial_hits")
         else:
-            self.metrics.counter("hvac.client_misses").incr()
+            self._incr("client_misses")
+        return n_fallback > 0 or any(failed > 0 for _, _, failed in outcomes)
 
     def close(self, handle: OpenFile) -> Generator:
         """Intercepted ``close``: out-of-band teardown RPC (fire & forget)."""
@@ -241,7 +372,7 @@ class HVACClient(FileBackend):
             self.env.process(
                 self._oob_close(candidates[0], handle.path), name="hvac.oob_close"
             )
-        self.metrics.counter("hvac.client_closes").incr()
+        self._incr("client_closes")
 
     def _oob_close(self, sid: int, path: str) -> Generator:
         server = self.servers[sid]

@@ -39,12 +39,16 @@ class HVACDeployment:
         seed: int = 0,
         metrics: MetricRegistry | None = None,
         placement: Optional[Placement] = None,
+        spans=None,
     ):
         self.allocation = allocation
         self.env = allocation.env
         self.spec = allocation.spec
         self.pfs = pfs
         self.metrics = metrics or allocation.metrics
+        #: optional :class:`~repro.obs.SpanRecorder` shared by every
+        #: server and client of this deployment
+        self.spans = spans
         hvac = self.spec.hvac
         self.instances_per_node = hvac.instances_per_node
         n_servers = allocation.n_nodes * hvac.instances_per_node
@@ -111,6 +115,7 @@ class HVACDeployment:
                         cache_capacity=per_instance_capacity,
                         rand=rand.child(f"server{server_id}"),
                         metrics=self.metrics,
+                        spans=spans,
                     )
                 )
         self._clients: dict[int, HVACClient] = {}
@@ -137,6 +142,7 @@ class HVACDeployment:
                 self.spec,
                 metrics=self.metrics,
                 rand=self.rand.child(f"client{node_id}"),
+                spans=self.spans,
             )
             self._clients[node_id] = cli
         return cli

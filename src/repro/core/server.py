@@ -55,6 +55,9 @@ class ReadRequest:
     #: its bulk transfer (Mercury pipelines chunks, so device read and
     #: wire transfer proceed concurrently)
     read_proc: object = field(repr=False, default=None)
+    #: server-side ``server.read`` span id this request belongs to (None
+    #: when no recorder is attached)
+    span: object = field(repr=False, default=None)
 
 
 class HVACServer:
@@ -73,6 +76,7 @@ class HVACServer:
         cache_capacity: int,
         rand: RandomStreams,
         metrics: MetricRegistry | None = None,
+        spans=None,
     ):
         self.env = env
         self.server_id = server_id
@@ -81,8 +85,20 @@ class HVACServer:
         self.pfs = pfs
         self.spec = spec
         self.metrics = metrics or MetricRegistry()
+        #: optional :class:`~repro.obs.SpanRecorder`
+        self.spans = spans
+        # Deployment-wide aggregates keep their historical names
+        # (``hvac.cache_hits`` …); the per-server scope shadows them
+        # under ``hvac.s<id>.…`` for SLO attribution.
+        self._hvac = self.metrics.scope("hvac")
+        self._sscope = self._hvac.scope(f"s{server_id}")
         self.endpoint = RPCEndpoint(
-            env, fabric, node_id, name=f"hvac-s{server_id}@n{node_id}"
+            env,
+            fabric,
+            node_id,
+            name=f"hvac-s{server_id}@n{node_id}",
+            metrics=self._sscope.scope("rpc"),
+            spans=spans,
         )
         self.cache = CacheManager(
             env,
@@ -158,33 +174,75 @@ class HVACServer:
         self._failed = True  # a torn-down server serves nothing
         self._flush_inflight()
 
+    # -- telemetry helpers -------------------------------------------------
+    def _incr(self, name: str, n: int = 1) -> None:
+        """Bump a server counter at both aggregation levels."""
+        self._hvac.counter(name).incr(n)
+        self._sscope.counter(name).incr(n)
+
     # -- RPC handlers ----------------------------------------------------
     def _handle_read(self, payload: tuple, src: int) -> Generator:
-        """Enqueue on the shared FIFO; wait for the data mover; bulk-push."""
-        path, size = payload
-        req = ReadRequest(path=path, size=size, client_node=src, done=self.env.event())
-        yield self.queue.put(req)
-        yield req.done
+        """Enqueue on the shared FIFO; wait for the data mover; bulk-push.
+
+        The payload's optional third element is the caller's span id;
+        when a recorder is attached the server-side ``server.read`` span
+        links into the client's causal tree through it.
+        """
+        path, size, *rest = payload
+        rec = self.spans
+        sid = None
+        if rec is not None:
+            sid = rec.begin(
+                "server.read",
+                self.env.now,
+                parent=rest[0] if rest else None,
+                server=self.server_id,
+                path=path,
+                bytes=size,
+            )
+        req = ReadRequest(
+            path=path, size=size, client_node=src, done=self.env.event(), span=sid
+        )
+        t0 = self.env.now
+        try:
+            yield self.queue.put(req)
+            yield req.done
+        except Exception:
+            if rec is not None:
+                rec.end(sid, self.env.now, status="error")
+            raise
         # Bulk transfer of the file contents to the requesting client.
         # Mercury moves the buffer in pipelined chunks, so for cache
         # hits the NVMe read and the wire transfer overlap.
+        if rec is not None:
+            rec.annotate(sid, self.env.now, "hit", 1 if req.hit else 0)
+        bsp = None
+        if rec is not None:
+            bsp = rec.begin(
+                "server.bulk", self.env.now, parent=sid, dst=src, bytes=size
+            )
         bulk = self.env.process(
-            self._bulk_to(src, size), name=f"hvac{self.server_id}.bulk"
+            self._bulk_to(src, size, bsp), name=f"hvac{self.server_id}.bulk"
         )
         waits = [bulk]
         if req.read_proc is not None:
             waits.append(req.read_proc)
         yield AllOf(self.env, waits)
-        self.metrics.counter("hvac.bytes_served").incr(size)
+        self._incr("bytes_served", size)
+        self._sscope.histogram("read_seconds").add(self.env.now - t0)
+        if rec is not None:
+            rec.end(sid, self.env.now)
         return req.hit
 
-    def _bulk_to(self, dst: int, size: int) -> Generator:
+    def _bulk_to(self, dst: int, size: int, span=None) -> Generator:
         yield from self.endpoint.bulk_push(dst, size)
+        if self.spans is not None:
+            self.spans.end(span, self.env.now)
 
     def _handle_close(self, payload: str, src: int) -> Generator:
         """Out-of-band teardown signal for a finished file (step ⑧)."""
         yield self.env.timeout(2e-6)
-        self.metrics.counter("hvac.closes").incr()
+        self._incr("closes")
         return None
 
     # -- data mover -------------------------------------------------------
@@ -208,14 +266,22 @@ class HVACServer:
         the read handle rides along in ``req.read_proc`` so the bulk
         transfer overlaps with it (pipelined chunks)."""
         req.hit = True
-        self.metrics.counter("hvac.cache_hits").incr()
+        self._incr("cache_hits")
         with self._copy_slots.request() as cslot:
             yield cslot
+            rec = self.spans
+            nsp = None
+            if rec is not None:
+                nsp = rec.begin(
+                    "server.nvme", self.env.now, parent=req.span, bytes=req.size
+                )
             req.read_proc = self.env.process(
                 self.cache.read(req.path), name=f"hvac{self.server_id}.nvme"
             )
             req.done.succeed()
             yield req.read_proc
+            if rec is not None:
+                rec.end(nsp, self.env.now)
 
     def _service(self, req: ReadRequest) -> Generator:
         try:
@@ -223,12 +289,12 @@ class HVACServer:
                 yield from self._serve_hit(req)
                 return
 
-            self.metrics.counter("hvac.cache_misses").incr()
+            self._incr("cache_misses")
             pending = self._inflight.get(req.path)
             if pending is not None:
                 # Another client is already copying this file in: wait on
                 # its completion instead of re-fetching (shared-queue mutex).
-                self.metrics.counter("hvac.dedup_waits").incr()
+                self._incr("dedup_waits")
                 yield pending
                 if self.cache.contains(req.path):
                     yield from self._serve_hit(req)
@@ -243,8 +309,19 @@ class HVACServer:
             try:
                 with self._copy_slots.request() as cslot:
                     yield cslot
+                    rec = self.spans
+                    fsp = None
+                    if rec is not None:
+                        fsp = rec.begin(
+                            "server.pfs_fetch",
+                            self.env.now,
+                            parent=req.span,
+                            bytes=req.size,
+                        )
                     # PFS → memory buffer, issued from this server's node.
                     yield from self.pfs.read_file(req.path, req.size, self.node_id)
+                    if rec is not None:
+                        rec.end(fsp, self.env.now)
                 # First read serves straight from the fetched buffer; the
                 # fs::copy to node-local storage completes asynchronously
                 # (the NVMe write is off the serve path but still
@@ -265,7 +342,7 @@ class HVACServer:
 
     def _passthrough(self, req: ReadRequest) -> Generator:
         """Serve from PFS without caching (file refused by policy/capacity)."""
-        self.metrics.counter("hvac.passthrough").incr()
+        self._incr("passthrough")
         with self._copy_slots.request() as cslot:
             yield cslot
             yield from self.pfs.read_file(req.path, req.size, self.node_id)

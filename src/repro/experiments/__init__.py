@@ -32,6 +32,7 @@ from .scaling import (
     normalized_to_gpfs,
     overhead_vs_xfs,
 )
+from .slo_exp import SLOScenarioResult, slo_scenario
 
 __all__ = [
     "AccuracyComparison",
@@ -64,5 +65,7 @@ __all__ = [
     "resolve_setup",
     "run_training",
     "Scale",
+    "SLOScenarioResult",
+    "slo_scenario",
     "SMALL_FILE",
 ]

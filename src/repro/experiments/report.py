@@ -27,6 +27,7 @@ from .scaling import (
     normalized_to_gpfs,
     overhead_vs_xfs,
 )
+from .slo_exp import slo_scenario
 
 __all__ = ["generate_report"]
 
@@ -104,6 +105,11 @@ def generate_report(
         w("## Fig 13: local/remote split", "")
         w(cache_split(RESNET50, IMAGENET21K, scale, n_nodes=mid,
                       batch_size=16, spec=spec).render(), "")
+
+    # -- §III-H telemetry ------------------------------------------------------
+    if include_des:
+        w("## §III-H: SLO degradation under a mid-epoch crash", "")
+        w(slo_scenario(n_nodes=2, n_files=8, windows=6).render(), "")
 
     # -- Figs 14-15 --------------------------------------------------------------
     w("## Fig 14: accuracy", "")

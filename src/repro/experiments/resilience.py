@@ -50,13 +50,15 @@ def _fault_spec(spec: ClusterSpec | None, **overrides) -> ClusterSpec:
     return base.with_hvac(**{**FAULT_SPEC_OVERRIDES, **overrides})
 
 
-def _build(spec: ClusterSpec, n_nodes: int, seed: int):
+def _build(spec: ClusterSpec, n_nodes: int, seed: int, spans=None, trace=None):
     env = Environment()
+    if trace is not None:
+        env.attach_trace(trace)
     alloc = Allocation(
         env, spec, n_nodes=n_nodes, rand=RandomStreams(seed).child("cluster")
     )
     pfs = GPFS(env, spec.pfs, n_nodes, spec.network.nic_bandwidth)
-    dep = HVACDeployment(alloc, pfs, seed=seed)
+    dep = HVACDeployment(alloc, pfs, seed=seed, spans=spans)
     return env, dep, pfs
 
 
@@ -147,12 +149,17 @@ def resilience_sweep(
     file_size: int = 25_000,
     spec: ClusterSpec | None = None,
     seed: int = 0,
+    spans=None,
 ) -> ResilienceResult:
     """Epoch-time degradation vs fraction of crashed cache servers.
 
     For each fraction: warm the cache, crash ``ceil(frac * n_nodes)``
     nodes via a :class:`FaultSchedule`, measure the degraded epoch,
     recover the nodes, wait out probation, measure the recovered epoch.
+
+    ``spans`` (an optional :class:`~repro.obs.SpanRecorder`) captures
+    every deployment's read telemetry into one timeline — the
+    determinism test's double-run comparison key.
     """
     spec = _fault_spec(spec)
     result = ResilienceResult(
@@ -165,7 +172,7 @@ def resilience_sweep(
     result.pfs_baseline = _pfs_epoch(env, pfs, n_nodes, files)
 
     for frac in result.fail_fractions:
-        env, dep, _ = _build(spec, n_nodes, seed)
+        env, dep, _ = _build(spec, n_nodes, seed, spans=spans)
         _epoch(env, dep, n_nodes, files)  # cold
         result.warm.append(_epoch(env, dep, n_nodes, files))
 
@@ -244,6 +251,7 @@ def fault_matrix(
     file_size: int = 25_000,
     spec: ClusterSpec | None = None,
     seed: int = 0,
+    spans=None,
 ) -> FaultMatrixResult:
     """Inject each fault kind mid-epoch and show the epoch completing.
 
@@ -255,7 +263,7 @@ def fault_matrix(
     files = _files(n_files, file_size)
     result = FaultMatrixResult(n_nodes=n_nodes, n_files=n_files)
     for kind, schedule in _matrix_schedules(n_nodes).items():
-        env, dep, _ = _build(spec, n_nodes, seed)
+        env, dep, _ = _build(spec, n_nodes, seed, spans=spans)
         _epoch(env, dep, n_nodes, files)  # warm
         to0 = dep.metrics.counter("hvac.client_rpc_timeouts").value
         fb0 = dep.metrics.counter("hvac.client_pfs_fallback").value

@@ -35,6 +35,7 @@ class FailureDetector:
         probation: float = 2.0,
         probation_growth: float = 2.0,
         probation_cap_factor: float = 8.0,
+        metrics=None,
     ):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
@@ -50,26 +51,41 @@ class FailureDetector:
         self.probation_cap = probation * probation_cap_factor
         self._strikes = [0] * n_servers
         self._until = [0.0] * n_servers  # blacklisted while now < until
+        self._since = [0.0] * n_servers  # when the current blacklist began
         #: lifetime counters, for metrics/introspection
         self.n_suspicions = 0
         self.n_reprobes = 0
+        #: optional :class:`~repro.simcore.MetricScope` (e.g.
+        #: ``hvac.c3.detector``): strikes/suspicions/reprobes counters
+        #: plus a blacklist-dwell tally
+        self.metrics = metrics
 
     # -- observations ---------------------------------------------------
     def record_success(self, server_id: int) -> None:
         """An RPC to ``server_id`` completed: full pardon."""
         if self._until[server_id] > 0.0 and self._strikes[server_id] >= self.suspect_after:
             self.n_reprobes += 1
+            if self.metrics is not None:
+                self.metrics.counter("reprobes").incr()
+                self.metrics.tally("blacklist_dwell_seconds").add(
+                    self.env.now - self._since[server_id]
+                )
         self._strikes[server_id] = 0
         self._until[server_id] = 0.0
 
     def record_failure(self, server_id: int) -> None:
         """An RPC to ``server_id`` timed out or errored."""
         self._strikes[server_id] += 1
+        if self.metrics is not None:
+            self.metrics.counter("strikes").incr()
         over = self._strikes[server_id] - self.suspect_after
         if over < 0:
             return
         if over == 0:
             self.n_suspicions += 1
+            self._since[server_id] = self.env.now
+            if self.metrics is not None:
+                self.metrics.counter("suspicions").incr()
         term = min(
             self.probation * self.probation_growth**over, self.probation_cap
         )

@@ -71,6 +71,8 @@ class RPCEndpoint:
         fabric: Fabric,
         node_id: int,
         name: str = "",
+        metrics=None,
+        spans=None,
     ):
         self.env = env
         self.fabric = fabric
@@ -79,6 +81,13 @@ class RPCEndpoint:
         self._handlers: dict[str, Callable[..., Generator]] = {}
         self._alive = True
         self._hung = False
+        #: optional :class:`~repro.simcore.MetricScope` for call outcome
+        #: counters and a call-latency histogram
+        self.metrics = metrics
+        #: optional :class:`~repro.obs.SpanRecorder`; when set, every
+        #: outbound call records an ``rpc.<op>`` span under the caller's
+        #: parent span
+        self.spans = spans
 
     def __repr__(self) -> str:
         state = "up" if self._alive else "DOWN"
@@ -131,6 +140,7 @@ class RPCEndpoint:
         payload_bytes: int = 0,
         response_bytes: int = 0,
         timeout: Optional[float] = None,
+        span: Optional[int] = None,
     ) -> Generator:
         """Invoke ``op`` on ``target``; yields until the response arrives.
 
@@ -138,7 +148,47 @@ class RPCEndpoint:
         the target is down or the handler raises; :class:`RPCTimeout` on
         deadline expiry (the in-flight handler is abandoned, as Mercury
         does on ``HG_Cancel``).
+
+        ``span`` is an optional parent span id: with a recorder attached
+        (:attr:`spans`) the call records an ``rpc.<op>`` child span whose
+        status distinguishes ok / timeout / error.  Telemetry is pure
+        list appends — it cannot perturb the event stream.
         """
+        rec = self.spans
+        sid = None
+        t0 = self.env.now
+        if rec is not None:
+            sid = rec.begin(
+                f"rpc.{op}", t0, span, src=self.node_id, dst=target.node_id
+            )
+        try:
+            value = yield from self._call(
+                target, op, payload, payload_bytes, response_bytes, timeout
+            )
+        except RPCError as err:
+            status = "timeout" if isinstance(err, RPCTimeout) else "error"
+            if self.metrics is not None:
+                self.metrics.counter(f"{status}s").incr()
+            if rec is not None:
+                rec.end(sid, self.env.now, status=status)
+            raise
+        if self.metrics is not None:
+            self.metrics.counter("calls").incr()
+            self.metrics.histogram("call_seconds").add(self.env.now - t0)
+        if rec is not None:
+            rec.end(sid, self.env.now)
+        return value
+
+    def _call(
+        self,
+        target: "RPCEndpoint",
+        op: str,
+        payload: Any,
+        payload_bytes: int,
+        response_bytes: int,
+        timeout: Optional[float],
+    ) -> Generator:
+        """The uninstrumented call path (see :meth:`call`)."""
         if not target._alive:
             raise RPCError(f"endpoint {target.name} is down")
         env = self.env

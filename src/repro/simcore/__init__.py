@@ -12,7 +12,7 @@ from .engine import (
     StopProcess,
     Timeout,
 )
-from .monitor import Counter, MetricRegistry, Series, Tally
+from .monitor import Counter, Histogram, MetricRegistry, MetricScope, Series, Tally
 from .rand import RandomStreams, stable_hash64
 from .resources import Container, PriorityResource, Resource
 from .stores import FilterStore, PriorityStore, Store, StoreFull
@@ -29,8 +29,10 @@ __all__ = [
     "EventRecord",
     "EventTrace",
     "FilterStore",
+    "Histogram",
     "Interrupt",
     "MetricRegistry",
+    "MetricScope",
     "PriorityResource",
     "PriorityStore",
     "Process",

@@ -96,6 +96,7 @@ class GPFS(FileBackend):
         self.env = env
         self.spec = spec
         self.metrics = metrics or MetricRegistry()
+        self._scope = self.metrics.scope("gpfs")
         self._mds = [
             _MetadataServer(env, spec.metadata_ops_per_sec)
             for _ in range(spec.n_metadata_servers)
@@ -129,9 +130,11 @@ class GPFS(FileBackend):
     # -- FileBackend -------------------------------------------------------
     def open(self, path: str, size: int, client_node: int) -> Generator:
         """Lookup + read-token acquisition at the owning MDS."""
+        t0 = self.env.now
         yield self.env.timeout(self.spec.client_overhead)
         yield from self._mds[self.mds_for(path)].do_ops(self.spec.ops_per_open)
-        self.metrics.counter("gpfs.opens").incr()
+        self._scope.counter("opens").incr()
+        self._scope.tally("open_seconds").add(self.env.now - t0)
         return OpenFile(path=path, size=size, backend=self, client_node=client_node)
 
     def read(self, handle: OpenFile, nbytes: int) -> Generator:
@@ -141,6 +144,7 @@ class GPFS(FileBackend):
         nbytes = min(nbytes, handle.size - handle.offset)
         if nbytes <= 0:
             return 0
+        t0 = self.env.now
         spec = self.spec
         first = handle.offset // spec.stripe_size
         last = (handle.offset + nbytes - 1) // spec.stripe_size
@@ -160,8 +164,9 @@ class GPFS(FileBackend):
         yield AllOf(self.env, fetches)
 
         handle.offset += nbytes
-        self.metrics.counter("gpfs.reads").incr()
-        self.metrics.tally("gpfs.read_bytes").add(nbytes)
+        self._scope.counter("reads").incr()
+        self._scope.tally("read_bytes").add(nbytes)
+        self._scope.histogram("read_seconds").add(self.env.now - t0)
         return nbytes
 
     def close(self, handle: OpenFile) -> Generator:
@@ -170,7 +175,7 @@ class GPFS(FileBackend):
             raise ValueError(f"double close of {handle.path}")
         handle.closed = True
         yield from self._mds[self.mds_for(handle.path)].do_ops(self.spec.ops_per_close)
-        self.metrics.counter("gpfs.closes").incr()
+        self._scope.counter("closes").incr()
 
     # -- capacity questions ----------------------------------------------
     @property

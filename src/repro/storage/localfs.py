@@ -36,6 +36,7 @@ class LocalFS(FileBackend):
         self.node_id = node_id
         self.device = device
         self.metrics = metrics or MetricRegistry()
+        self._scope = self.metrics.scope(f"localfs{node_id}")
         #: path -> size; ``track_namespace=False`` skips bookkeeping for
         #: workloads that pre-declare staging (saves memory at scale).
         self.track_namespace = track_namespace
@@ -68,7 +69,7 @@ class LocalFS(FileBackend):
         yield from self.device.write(size)
         if self.track_namespace:
             self._files[path] = size
-        self.metrics.counter(f"localfs{self.node_id}.files_written").incr()
+        self._scope.counter("files_written").incr()
 
     def delete_file(self, path: str) -> None:
         """Remove ``path`` and free its space (instant metadata op)."""
@@ -94,9 +95,11 @@ class LocalFS(FileBackend):
         nbytes = min(nbytes, handle.size - handle.offset)
         if nbytes <= 0:
             return 0
+        t0 = self.env.now
         yield from self.device.read(nbytes)
         handle.offset += nbytes
-        self.metrics.counter(f"localfs{self.node_id}.reads").incr()
+        self._scope.counter("reads").incr()
+        self._scope.tally("read_seconds").add(self.env.now - t0)
         return nbytes
 
     def close(self, handle: OpenFile) -> Generator:

@@ -36,6 +36,7 @@ BAD_FIXTURES = {
         "        return True\n"
     ),
     "SIM007": "import time\n\ndef serve():\n    time.sleep(0.1)\n",
+    "SIM008": "vals = {0.1, 0.2, 0.3}\n\ndef total():\n    return sum(vals)\n",
 }
 
 GOOD_FIXTURES = {
@@ -71,6 +72,11 @@ GOOD_FIXTURES = {
     "SIM007": (
         "def proc(env):\n"
         "    yield env.timeout(0.1)\n"
+    ),
+    "SIM008": (
+        "vals = {0.1, 0.2, 0.3}\n\n"
+        "def total():\n"
+        "    return sum(sorted(vals))\n"
     ),
 }
 
@@ -149,6 +155,22 @@ class TestRuleDetails:
     def test_sim007_thread_join_vs_str_join(self):
         assert codes("def f(t):\n    yield 1\n    t.join()\n") == ["SIM007"]
         assert codes("def f(parts):\n    yield 1\n    s = ','.join(parts)\n") == []
+
+    def test_sim008_qualified_reducers(self):
+        src = "import math\n\nxs = set()\nt = math.fsum(xs)\n"
+        assert codes(src) == ["SIM008"]
+        src = "import numpy as np\n\nxs = {1.0, 2.0}\nt = np.sum(xs)\n"
+        assert codes(src) == ["SIM008"]
+
+    def test_sim008_set_literal_argument(self):
+        assert codes("t = sum({0.5, 0.25})\n") == ["SIM008"]
+
+    def test_sim008_ordered_reductions_are_fine(self):
+        assert codes("xs = [0.1, 0.2]\nt = sum(xs)\n") == []
+        assert codes("xs = {0.1, 0.2}\nt = sum(sorted(xs))\n") == []
+        # a generator over a set is the SIM004 iteration hazard, and
+        # only that — no double report
+        assert codes("xs = {0.1}\nt = sum(x for x in xs)\n") == ["SIM004"]
 
     def test_wall_clock_rules_skip_runtime_scope(self):
         src = "import time\n\ndef f():\n    time.sleep(1)\n    return time.time()\n"
