@@ -19,7 +19,7 @@ from typing import Mapping
 
 from .tables import format_table
 
-__all__ = ["degradation_dashboard", "degradation_strip"]
+__all__ = ["count_strip", "degradation_dashboard", "degradation_strip"]
 
 #: ten-level intensity ramp for the degraded-fraction strip
 _RAMP = " .:-=+*#%@"
@@ -31,6 +31,22 @@ def degradation_strip(fractions: list[float]) -> str:
     for f in fractions:
         f = min(1.0, max(0.0, f))
         out.append(_RAMP[min(len(_RAMP) - 1, int(f * len(_RAMP)))])
+    return "".join(out)
+
+
+def count_strip(counts: list[int]) -> str:
+    """One character per window for point-event counts: ' ' = none,
+    '1'–'9' literal, '+' = ten or more.  Lines up under
+    :func:`degradation_strip` when both use the same window grid
+    (see :func:`repro.obs.bucket_times`)."""
+    out = []
+    for n in counts:
+        if n <= 0:
+            out.append(" ")
+        elif n < 10:
+            out.append(str(n))
+        else:
+            out.append("+")
     return "".join(out)
 
 

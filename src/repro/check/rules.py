@@ -15,6 +15,8 @@ SIM006    ``==``/``!=`` on float sim timestamps (``env.now``)
 SIM007    blocking calls (``time.sleep``, bare ``.join()``) in sim code
 SIM008    float reduction (``sum``/``fsum``/``np.sum``) over an
           unordered ``set`` — accumulation order changes the result
+SIM009    dict keyed by ``id(...)`` — key values are memory addresses,
+          so any iteration over it replays in allocation order
 ========  ============================================================
 
 The rules are deliberately heuristic: they aim at the handful of
@@ -47,6 +49,9 @@ RULES: dict[str, str] = {
     "SIM008": "float reduction over an unordered set; FP addition is "
     "non-associative, so accumulation order changes the result — "
     "reduce over sorted(...) or an ordered container",
+    "SIM009": "dict keyed by id(...); id values are memory addresses that "
+    "differ across runs, so iterating the dict (or sorting its keys) "
+    "replays in allocation order — key by a stable identity instead",
 }
 
 #: SIM001 targets (fully-qualified after import-alias resolution)
@@ -261,7 +266,34 @@ class _SimVisitor(ast.NodeVisitor):
             self._check_iteration(gen.iter)
         self.generic_visit(node)
 
-    visit_ListComp = visit_SetComp = visit_DictComp = visit_GeneratorExp = _visit_comp
+    visit_ListComp = visit_SetComp = visit_GeneratorExp = _visit_comp
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        if self._is_id_call(node.key):
+            self._emit("SIM009", node)
+        self._visit_comp(node)
+
+    # -- id()-keyed dicts (SIM009) ------------------------------------------
+    @staticmethod
+    def _is_id_call(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+        )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # d[id(x)] — reads and writes alike seed an address-keyed table;
+        # id(x) in a *set* (pure membership, never iterated for order)
+        # stays legal, which is why the rule keys on subscripts.
+        if self._is_id_call(node.slice):
+            self._emit("SIM009", node)
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        if any(key is not None and self._is_id_call(key) for key in node.keys):
+            self._emit("SIM009", node)
+        self.generic_visit(node)
 
     # -- function context (SIM005/SIM007) ----------------------------------
     @staticmethod

@@ -24,6 +24,7 @@ from .experiments import (
     load_balance,
     mdtest_scaling,
     mdtest_scaling_analytic,
+    membership_comparison,
     node_scaling,
     node_scaling_analytic,
     normalized_to_gpfs,
@@ -221,6 +222,30 @@ def cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_membership(args: argparse.Namespace) -> int:
+    if args.smoke:
+        args.nodes = min(args.nodes, 4)
+        args.files = min(args.files, 12)
+        args.windows = min(args.windows, 8)
+        args.repair_bandwidths = args.repair_bandwidths[:2]
+    result = membership_comparison(
+        n_nodes=args.nodes,
+        n_files=args.files,
+        victims=tuple(args.victims),
+        outage_epochs=args.outage_epochs,
+        windows=args.windows,
+        repair_bandwidths=tuple(args.repair_bandwidths),
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.output_dir:
+        paths = result.write_artifacts(args.output_dir)
+        print()
+        for name, path in paths.items():
+            print(f"wrote {name}: {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HVAC reproduction toolkit"
@@ -304,6 +329,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny fast run (CI artifact smoke test)")
     p.set_defaults(func=cmd_slo)
+
+    p = sub.add_parser(
+        "membership",
+        help="gossip membership, fault-aware remapping, peer repair: "
+        "four failover modes on one crash/recover scenario "
+        "+ repair-bandwidth sweep",
+    )
+    p.add_argument("--nodes", type=int, default=6)
+    p.add_argument("--files", type=int, default=36,
+                   help="files per node per epoch")
+    p.add_argument("--victims", type=int, nargs="+", default=[1, 2],
+                   help="nodes crashed as a correlated burst (adjacent "
+                   "pair = whole replica sets lost)")
+    p.add_argument("--outage-epochs", type=int, default=2,
+                   help="measured epochs while the victims are down")
+    p.add_argument("--windows", type=int, default=12,
+                   help="SLO window count across the post-crash range")
+    p.add_argument("--repair-bandwidths", type=float, nargs="+",
+                   default=[1e6, 1e7, 1e8, 0.0],
+                   help="repair throttle sweep, bytes/s (0 = unthrottled)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-dir", default="",
+                   help="also write report.txt + transitions.log here")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fast run (CI artifact smoke test)")
+    p.set_defaults(func=cmd_membership)
 
     p = sub.add_parser(
         "check",

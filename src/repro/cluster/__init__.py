@@ -1,6 +1,6 @@
 """Cluster hardware models: nodes, NVMe devices, fabric, calibrated specs."""
 
-from .network import Fabric
+from .network import Fabric, RateLimiter
 from .node import Allocation, ComputeNode
 from .nvme import DeviceFull, NVMeDevice
 from .specs import (
@@ -42,6 +42,7 @@ __all__ = [
     "NVMeDevice",
     "NVMeSpec",
     "PFSSpec",
+    "RateLimiter",
     "SUMMIT",
     "TB",
     "TESTING",

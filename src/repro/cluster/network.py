@@ -38,7 +38,7 @@ from ..simcore import (
 )
 from .specs import NetworkSpec
 
-__all__ = ["Fabric"]
+__all__ = ["Fabric", "RateLimiter"]
 
 
 class _Port:
@@ -233,3 +233,32 @@ class Fabric:
     def rx_queue_len(self, node_id: int) -> int:
         self._check_node(node_id)
         return self._rx[node_id].res.queued
+
+
+class RateLimiter:
+    """A byte-per-second pacing gate for background bulk flows.
+
+    Repair streams (and any future scrubber/rebalancer) call
+    :meth:`throttle` before each transfer; the limiter serializes the
+    paced slots so the aggregate admitted rate never exceeds ``rate``
+    bytes/s, regardless of how many flows share it.  ``rate <= 0``
+    disables pacing.  Note this only *admits* traffic — the bytes still
+    cross the real fabric links afterwards and contend there.
+    """
+
+    def __init__(self, env: Environment, rate: float = 0.0):
+        if rate < 0:
+            raise SimulationError("rate must be >= 0")
+        self.env = env
+        self.rate = rate
+        self._ready = 0.0
+
+    def throttle(self, nbytes: int) -> Generator:
+        """Yield until ``nbytes`` fit under the configured rate."""
+        if self.rate <= 0:
+            return
+        start = max(self._ready, self.env.now)
+        self._ready = start + nbytes / self.rate
+        delay = self._ready - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)

@@ -216,6 +216,28 @@ class HVACSpec:
     suspect_after: int = 2
     #: how long a suspected server stays blacklisted before a re-probe
     probation_period: float = 2.0
+    # -- membership & repair (gossip suspicion, remap, re-replication) --
+    #: share timeout evidence between clients: per-node MembershipView,
+    #: digests piggybacked on every RPC + anti-entropy gossip rounds
+    membership_enabled: bool = False
+    #: mean sleep between one client's anti-entropy rounds (jittered
+    #: x0.5-1.5 from its seeded stream)
+    gossip_interval: float = 0.05
+    #: a suspected server the view hears no refutation from for this
+    #: long is declared dead (dropped from routing and placement)
+    suspect_to_dead: float = 0.25
+    #: remap a dead server's hash range onto live stand-ins instead of
+    #: paying per-read fallback (requires membership)
+    remap_enabled: bool = True
+    #: stream a recovered server's lost shard back from replica peers
+    #: (or PFS) in the background (requires membership)
+    repair_enabled: bool = True
+    #: repair throttle in bytes/s; 0 = unthrottled
+    repair_bandwidth: float = 0.0
+    #: cap on RPC attempts per striped *segment* (0 = use
+    #: rpc_max_retries); segments give up early and count a
+    #: ``client_seg_fallbacks`` instead of burning the full backoff walk
+    segment_retry_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.instances_per_node < 1:
@@ -240,6 +262,14 @@ class HVACSpec:
             raise ValueError("suspect_after must be >= 1")
         if self.probation_period < 0:
             raise ValueError("probation_period must be >= 0")
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be positive")
+        if self.suspect_to_dead < 0:
+            raise ValueError("suspect_to_dead must be >= 0")
+        if self.repair_bandwidth < 0:
+            raise ValueError("repair_bandwidth must be >= 0")
+        if self.segment_retry_budget < 0:
+            raise ValueError("segment_retry_budget must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -187,6 +187,11 @@ class CacheManager:
     def n_files(self) -> int:
         return len(self._sizes)
 
+    def contents(self) -> list[tuple[str, int]]:
+        """``(path, size)`` of every resident file, in sorted order —
+        the stable iteration surface repair planning walks."""
+        return sorted(self._sizes.items())
+
     def touch(self, path: str) -> None:
         """Record a cache hit for recency-tracking policies."""
         if path in self._sizes:

@@ -101,6 +101,35 @@ class HVACClient(FileBackend):
             metrics=self._cscope.scope("rpc"),
             spans=spans,
         )
+        #: optional :class:`~repro.membership.MembershipView` (see
+        #: :meth:`attach_membership`); None = detector-only liveness
+        self.view = None
+
+    def attach_membership(self, view, remap: bool = True) -> None:
+        """Join the gossip mesh: route by ``view``, share evidence.
+
+        The detector keeps doing first-hand strike counting; every
+        suspicion onset is forwarded into ``view``, whose digest then
+        rides on all of this endpoint's RPCs (and the anti-entropy
+        rounds).  With ``remap`` the placement is wrapped so dead
+        servers' hash ranges move wholesale to live stand-ins.
+        """
+        from ..membership.remap import RemappedPlacement
+
+        self.view = view
+        self.detector.listener = view
+        if remap:
+            self.placement = RemappedPlacement(self.placement, view)
+
+        def provide():
+            digest = view.digest()
+            return digest, view.digest_bytes(digest)
+
+        def absorb(digest, src):
+            view.merge(digest, why="piggyback")
+
+        self.endpoint.digest_provider = provide
+        self.endpoint.digest_sink = absorb
 
     # -- telemetry helpers -------------------------------------------------
     def _incr(self, name: str, n: int = 1) -> None:
@@ -146,7 +175,13 @@ class HVACClient(FileBackend):
         order = self.replica_order(path)
         if not self.spec.hvac.failover_enabled:
             order = order[:1]
-        return [sid for sid in order if self.detector.usable(sid)]
+        view = self.view
+        return [
+            sid
+            for sid in order
+            if self.detector.usable(sid)
+            and (view is None or view.routable(sid))
+        ]
 
     def _backoff(self, attempt: int) -> float:
         """Exponential backoff with seeded jitter before retry ``attempt``."""
@@ -219,6 +254,7 @@ class HVACClient(FileBackend):
         size: int,
         client_node: int,
         parent: Optional[int] = None,
+        max_retries: Optional[int] = None,
     ) -> Generator:
         """One forwarded read transaction (whole file or one segment).
 
@@ -229,11 +265,14 @@ class HVACClient(FileBackend):
         walks the detector-approved replicas; every retry path
         terminates in the PFS — a flapping server can cost at most
         ``rpc_max_retries`` strikes, never an unbounded recursion.
+        ``max_retries`` caps the walk below the spec default (per-segment
+        retry budgets).
         """
         hvac = self.spec.hvac
         rec = self.spans
         failures = 0
-        for attempt in range(hvac.rpc_max_retries):
+        retries = max_retries if max_retries is not None else hvac.rpc_max_retries
+        for attempt in range(retries):
             candidates = self._candidates(path)
             if not candidates:
                 break
@@ -269,7 +308,13 @@ class HVACClient(FileBackend):
                 self.detector.record_success(sid)
                 route = "local" if server.node_id == self.node_id else "remote"
                 return hit, route, failures
-            if attempt + 1 < hvac.rpc_max_retries:
+            if attempt + 1 < retries:
+                if not self._candidates(path):
+                    # The whole replica set just went unroutable (all
+                    # suspected/dead): the remaining backoff walk cannot
+                    # reach anyone — degrade now instead of sleeping.
+                    self._incr("client_retry_aborts")
+                    break
                 self._incr("client_retries")
                 yield self.env.timeout(self._backoff(attempt))
         # Every approved replica failed (or none is approved): degrade
@@ -308,8 +353,13 @@ class HVACClient(FileBackend):
                 path=seg_path,
                 bytes=length,
             )
+        budget = self.spec.hvac.segment_retry_budget
         hit, route, failures = yield from self._forward_read(
-            seg_path, length, client_node, parent=sp if sp is not None else root
+            seg_path,
+            length,
+            client_node,
+            parent=sp if sp is not None else root,
+            max_retries=budget if budget > 0 else None,
         )
         if hit is None:
             self._incr("client_seg_fallbacks")

@@ -120,6 +120,32 @@ class HVACDeployment:
                 )
         self._clients: dict[int, HVACClient] = {}
 
+        # -- membership & repair (optional) -------------------------------
+        self.membership_enabled = hvac.membership_enabled
+        self.repair = None
+        self.views: dict[int, object] = {}
+        self.gossips: dict[int, object] = {}
+        if self.membership_enabled:
+            from ..membership import MembershipView, RepairManager
+
+            if hvac.repair_enabled:
+                self.repair = RepairManager(self, bandwidth=hvac.repair_bandwidth)
+            for server in self.servers:
+                board = MembershipView(
+                    self.env,
+                    len(self.servers),
+                    owner=f"s{server.server_id}",
+                    probation=hvac.probation_period,
+                    dead_after=hvac.suspect_to_dead,
+                    spans=spans,
+                    metrics=self.metrics.scope(
+                        f"hvac.s{server.server_id}.membership"
+                    ),
+                )
+                server.enable_membership(
+                    board, repair=self.repair, peers=self.servers
+                )
+
     # -- addressing ---------------------------------------------------------
     @property
     def n_servers(self) -> int:
@@ -145,7 +171,29 @@ class HVACDeployment:
                 spans=self.spans,
             )
             self._clients[node_id] = cli
+            if self.membership_enabled:
+                self._join_membership(cli)
         return cli
+
+    def _join_membership(self, cli: HVACClient) -> None:
+        """Give a fresh client its view and gossip agent."""
+        from ..membership import GossipAgent, MembershipView
+
+        hvac = self.spec.hvac
+        view = MembershipView(
+            self.env,
+            len(self.servers),
+            owner=f"c{cli.node_id}",
+            probation=hvac.probation_period,
+            dead_after=hvac.suspect_to_dead,
+            spans=self.spans,
+            metrics=self.metrics.scope(f"hvac.c{cli.node_id}.membership"),
+        )
+        cli.attach_membership(view, remap=hvac.remap_enabled)
+        self.views[cli.node_id] = view
+        self.gossips[cli.node_id] = GossipAgent(
+            self.env, cli, view, self._clients, self.spec
+        )
 
     @classmethod
     def with_locality_split(
@@ -170,6 +218,8 @@ class HVACDeployment:
     # -- lifecycle ----------------------------------------------------------
     def teardown(self) -> None:
         """Job end: purge caches, stop servers (cache dies with the job)."""
+        for node_id in sorted(self.gossips):
+            self.gossips[node_id].stop()
         for server in self.servers:
             server.teardown()
 

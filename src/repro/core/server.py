@@ -24,7 +24,7 @@ from typing import Generator
 
 from ..cluster import Fabric
 from ..cluster.specs import ClusterSpec
-from ..rpc import RPCEndpoint, RPCError
+from ..rpc import RPCEndpoint, RPCError, RPCTimeout
 from ..simcore import (
     AllOf,
     Environment,
@@ -120,8 +120,22 @@ class HVACServer:
         # In-flight fetch dedup: path -> completion event ("mutex" in the paper).
         self._inflight: dict[str, Event] = {}
         self._failed = False
+        # -- membership (optional, see enable_membership) -----------------
+        #: bumped on every recover/repair-complete; a higher incarnation
+        #: beats any stale accusation in the gossip lattice
+        self.incarnation = 0
+        #: the server's own authoritative state: alive | recovering
+        self.member_state = "alive"
+        #: this server's bulletin-board MembershipView (None = disabled)
+        self.board = None
+        #: RepairManager streaming the shard back after recovery
+        self._repair = None
+        #: peer server table for rejoin announcements (set by
+        #: enable_membership; servers otherwise never talk to each other)
+        self._peers = None
         self.endpoint.register("read", self._handle_read)
         self.endpoint.register("close", self._handle_close)
+        self.endpoint.register("ping", self._handle_ping)
         self._drainer = env.process(self._drain(), name=f"hvac{server_id}.mover")
 
     # -- lifecycle --------------------------------------------------------
@@ -149,11 +163,103 @@ class HVACServer:
         return self.endpoint.hung
 
     def recover(self) -> None:
-        """Restart after failure with a cold cache."""
+        """Restart after failure with a cold cache.
+
+        With membership enabled the restart bumps the incarnation (so
+        the refutation beats every circulating death certificate) and,
+        when a repair manager is attached, comes back ``recovering`` —
+        stand-ins keep its hash range until the shard is streamed back.
+        """
         self.cache.purge()
         self._inflight.clear()
         self._failed = False
         self.endpoint.restart()
+        if self.board is not None:
+            self.incarnation += 1
+            self.member_state = "recovering" if self._repair is not None else "alive"
+            self.board.self_report(self.server_id, self.incarnation, self.member_state)
+            if self._repair is not None:
+                self._repair.on_recover(self)
+            self._spawn_announce()
+
+    def repair_complete(self) -> None:
+        """The repair stream finished: rejoin placement as fully alive."""
+        if self.board is None:
+            return
+        self.incarnation += 1
+        self.member_state = "alive"
+        self.board.self_report(self.server_id, self.incarnation, self.member_state)
+        self._spawn_announce()
+
+    def _spawn_announce(self) -> None:
+        if self._peers is not None:
+            self.env.process(
+                self._announce(), name=f"hvac{self.server_id}.announce"
+            )
+
+    def _announce(self) -> Generator:
+        """SWIM rejoin announcement: ping a couple of peer servers our
+        own board believes are up.  The request's piggybacked digest
+        carries the fresh self-report; the peers' reply digests then
+        spread it to every client on the ordinary read path — without
+        this, a recovered server (which receives no requests while
+        everyone thinks it dead) could only be rediscovered by the
+        gossip agents' backed-off recovery probes."""
+        from ..membership.view import DEAD
+
+        n = len(self._peers)
+        told = 0
+        for k in range(1, n):
+            peer = self._peers[(self.server_id + k) % n]
+            if self.board.state_of(peer.server_id) == DEAD:
+                continue
+            try:
+                yield from self.endpoint.call(
+                    peer.endpoint,
+                    "ping",
+                    payload=None,
+                    payload_bytes=0,
+                    timeout=self.spec.hvac.rpc_timeout,
+                )
+            except (RPCError, RPCTimeout):
+                continue
+            told += 1
+            if told >= 2:
+                return
+
+    # -- membership -------------------------------------------------------
+    def enable_membership(self, board, repair=None, peers=None) -> None:
+        """Attach a bulletin-board view + optional repair manager, and
+        wire membership digests onto every RPC this endpoint touches.
+        ``peers`` (the deployment's server table) enables the rejoin
+        announcement after recovery."""
+        from ..membership.view import STATE_RANK
+
+        self.board = board
+        self._repair = repair
+        self._peers = peers
+        board.self_report(self.server_id, self.incarnation, self.member_state)
+
+        def provide():
+            digest = board.digest()
+            return digest, board.digest_bytes(digest)
+
+        def absorb(digest, src):
+            board.merge(digest, why="piggyback")
+            # SWIM refutation: if the caller's digest accuses *us* of a
+            # state worse than our own at our current (or a later)
+            # incarnation, out-bid it — the bump rides back on this very
+            # reply's digest.
+            inc, state, _ = board.entry(self.server_id)
+            ours = (self.incarnation, STATE_RANK[self.member_state])
+            if (inc, STATE_RANK[state]) > ours:
+                self.incarnation = inc + 1
+                board.self_report(
+                    self.server_id, self.incarnation, self.member_state
+                )
+
+        self.endpoint.digest_provider = provide
+        self.endpoint.digest_sink = absorb
 
     def _flush_inflight(self) -> None:
         """Fail every dedup waiter parked on an in-flight fetch: the
@@ -244,6 +350,14 @@ class HVACServer:
         yield self.env.timeout(2e-6)
         self._incr("closes")
         return None
+
+    def _handle_ping(self, payload, src: int) -> Generator:
+        """Liveness probe.  The interesting cargo is the piggybacked
+        reply digest (carrying this server's self-report); the return
+        value is informational."""
+        yield self.env.timeout(2e-6)
+        self._incr("pings")
+        return (self.server_id, self.incarnation, self.member_state)
 
     # -- data mover -------------------------------------------------------
     def _drain(self) -> Generator:

@@ -11,6 +11,11 @@ from .epochs import (
 )
 from .harness import Scale, repeat_training, resolve_setup, run_training
 from .load_balance import LoadBalanceResult, load_balance
+from .membership import (
+    MEMBERSHIP_MODES,
+    MembershipResult,
+    membership_comparison,
+)
 from .report import generate_report
 from .resilience import (
     FaultMatrixResult,
@@ -53,6 +58,9 @@ __all__ = [
     "mdtest_scaling",
     "mdtest_scaling_analytic",
     "MDTestScalingResult",
+    "MEMBERSHIP_MODES",
+    "membership_comparison",
+    "MembershipResult",
     "node_scaling",
     "node_scaling_analytic",
     "NodeScalingResult",

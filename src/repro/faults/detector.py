@@ -55,6 +55,13 @@ class FailureDetector:
         #: lifetime counters, for metrics/introspection
         self.n_suspicions = 0
         self.n_reprobes = 0
+        #: ``(time, server_id)`` of every suspicion onset — detection
+        #: latency comes from here in detector-only experiments
+        self.suspicion_log: list[tuple[float, int]] = []
+        #: optional membership hook: ``listener.on_suspect(sid)`` fires
+        #: on every suspicion (onset *and* repeat offences), which is how
+        #: first-hand timeout evidence enters a MembershipView
+        self.listener = None
         #: optional :class:`~repro.simcore.MetricScope` (e.g.
         #: ``hvac.c3.detector``): strikes/suspicions/reprobes counters
         #: plus a blacklist-dwell tally
@@ -84,12 +91,15 @@ class FailureDetector:
         if over == 0:
             self.n_suspicions += 1
             self._since[server_id] = self.env.now
+            self.suspicion_log.append((self.env.now, server_id))
             if self.metrics is not None:
                 self.metrics.counter("suspicions").incr()
         term = min(
             self.probation * self.probation_growth**over, self.probation_cap
         )
         self._until[server_id] = self.env.now + term
+        if self.listener is not None:
+            self.listener.on_suspect(server_id)
 
     # -- queries ----------------------------------------------------------
     def usable(self, server_id: int) -> bool:

@@ -136,13 +136,31 @@ class FaultSchedule:
         mean_outage: float = 0.1,
         degrade_factor: float = 4.0,
         drop_prob: float = 0.5,
+        rack_size: int = 0,
+        rack_crash_rate: float = 0.0,
+        switch_flaky_rate: float = 0.0,
+        burst_spread: float = 0.0,
     ) -> "FaultSchedule":
         """A seeded random schedule: each rate is expected events per
         simulated second over ``[0, horizon)``, arrivals Poisson, targets
         uniform, outages exponential with ``mean_outage``.  The same
-        arguments always produce the identical schedule."""
+        arguments always produce the identical schedule.
+
+        Correlated failures (require ``rack_size >= 1``):
+
+        * ``rack_crash_rate`` — power/cooling bursts: every node of one
+          random rack crashes within a ``burst_spread``-long uniform
+          stagger window and shares one exponential outage duration;
+        * ``switch_flaky_rate`` — a rack's uplink switch goes flaky:
+          every (rack node, outside node) link drops with ``drop_prob``
+          for one shared exponential duration.
+        """
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        if (rack_crash_rate > 0 or switch_flaky_rate > 0) and rack_size < 1:
+            raise ValueError("correlated failure rates require rack_size >= 1")
+        if burst_spread < 0:
+            raise ValueError("burst_spread must be >= 0")
         rand = RandomStreams(seed)
         events: list[FaultEvent] = []
 
@@ -191,6 +209,41 @@ class FaultSchedule:
                     drop_prob=drop_prob,
                 )
             )
+
+        def rack_nodes(name: str) -> list[int]:
+            n_racks = -(-n_nodes // rack_size)
+            rack = int(rand.stream(name).integers(n_racks))
+            lo = rack * rack_size
+            return list(range(lo, min(lo + rack_size, n_nodes)))
+
+        for t in arrivals("rack.crash", rack_crash_rate):
+            members = rack_nodes("rack.crash.rack")
+            outage = rand.exponential("rack.crash.outage", mean_outage)
+            for node in members:
+                stagger = (
+                    rand.uniform("rack.crash.stagger", 0.0, burst_spread)
+                    if burst_spread > 0
+                    else 0.0
+                )
+                events.append(
+                    FaultEvent(t + stagger, "crash", node=node, duration=outage)
+                )
+        for t in arrivals(
+            "switch.flaky", switch_flaky_rate if n_nodes >= 2 else 0.0
+        ):
+            members = rack_nodes("switch.flaky.rack")
+            outage = rand.exponential("switch.flaky.outage", mean_outage)
+            inside = set(members)
+            for node in members:
+                for other in range(n_nodes):
+                    if other in inside:
+                        continue
+                    events.append(
+                        FaultEvent(
+                            t, "flaky_link", link=(node, other),
+                            duration=outage, drop_prob=drop_prob,
+                        )
+                    )
         return cls(events)
 
 

@@ -1,0 +1,42 @@
+"""Cluster membership & repair (gossip suspicion, remap, re-replication).
+
+The fault package (PR 1) made every client detect failures alone: each
+pays its own timeout strikes, each re-probes independently, and a
+recovered server comes back cold.  This package adds the three missing
+layers on top of that machinery:
+
+* :class:`MembershipView` + :class:`GossipAgent` — SWIM-style shared
+  suspicion with incarnation counters.  Digests piggyback on every
+  existing RPC (see ``rpc/endpoint.py``) and on a low-rate anti-entropy
+  exchange between clients, so one client's timeout evidence spares the
+  rest their duplicate probe storms;
+* :class:`RemappedPlacement` — fault-aware placement: a dead server's
+  hash range moves wholesale onto live stand-ins (and back on
+  recovery), replacing per-read fallback with warm stand-in reads;
+* :class:`RepairManager` — peer-to-peer replica repair: a recovered
+  server streams its lost shard back from replica peers (or the PFS)
+  under a shared bandwidth throttle, contending on the real fabric.
+
+``experiments/membership.py`` / ``repro membership`` measure the stack
+against detector-only failover.  Everything is deterministic: RNG from
+``RandomStreams``, timestamps from the sim clock, transition logs
+byte-identical across same-seed runs.
+"""
+
+from .gossip import GossipAgent
+from .remap import RemappedPlacement
+from .repair import RepairManager, RepairReport
+from .view import ALIVE, DEAD, RECOVERING, STATE_RANK, SUSPECTED, MembershipView
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "GossipAgent",
+    "MembershipView",
+    "RECOVERING",
+    "RemappedPlacement",
+    "RepairManager",
+    "RepairReport",
+    "STATE_RANK",
+    "SUSPECTED",
+]

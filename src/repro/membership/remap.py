@@ -1,0 +1,58 @@
+"""Fault-aware placement: remap a dead server's hash range.
+
+Without remapping, every read whose home replica set intersects a dead
+server walks the retry/backoff ladder and lands on the PFS — a
+per-read penalty paid for the whole outage.  :class:`RemappedPlacement`
+wraps any base :class:`~repro.core.hashing.Placement` and consults a
+:class:`~repro.membership.MembershipView`: replicas the view considers
+unplaceable (``dead``, or ``recovering`` while repair streams the shard
+back) are substituted with the next live servers along the ring, so the
+stand-ins absorb the range and warm their caches.  When the view sees
+the server ``alive`` again the wrapper yields the original replica set
+— un-remapping is automatic and per-path, no rebuild step.
+
+The wrapper is deliberately *view-local*: two clients with divergent
+beliefs may briefly disagree on a file's stand-in.  That is safe — a
+stand-in miss is just a PFS fetch that warms the stand-in — and it
+converges as fast as the gossip does.
+"""
+
+from __future__ import annotations
+
+from ..core.hashing import Placement
+from .view import MembershipView
+
+__all__ = ["RemappedPlacement"]
+
+
+class RemappedPlacement(Placement):
+    """Placement decorator that routes around unplaceable servers."""
+
+    def __init__(self, base: Placement, view: MembershipView):
+        self.base = base
+        self.view = view
+        super().__init__(base.n_servers, base.replication_factor)
+
+    def replicas(self, path: str, client=None) -> list[int]:
+        base_r = self.base.replicas(path, client)
+        out = [sid for sid in base_r if self.view.placeable(sid)]
+        if len(out) == len(base_r):
+            return base_r
+        # refill from the ring, starting just past the original primary,
+        # so a dead server's whole range lands on a stable set of
+        # stand-ins (consecutive servers), not a per-path scatter
+        k = 1
+        while len(out) < len(base_r) and k <= self.n_servers:
+            cand = (base_r[0] + k) % self.n_servers
+            if cand not in out and self.view.placeable(cand):
+                out.append(cand)
+            k += 1
+        return out or base_r
+
+    def __getattr__(self, name):
+        # delegate optional extensions (rack_of, ...) to the base scheme;
+        # only reached for attributes not set on the wrapper itself
+        return getattr(self.base, name)
+
+    def __repr__(self) -> str:
+        return f"<RemappedPlacement over {self.base!r}>"

@@ -17,7 +17,7 @@ The ``repro slo`` CLI subcommand and ``analysis/dashboard.py`` render
 these into the degradation dashboard.
 """
 
-from .slo import EntitySLO, ROUTES, SLOReport, SLOWindow, compute_slo
+from .slo import EntitySLO, ROUTES, SLOReport, SLOWindow, bucket_times, compute_slo
 from .spans import Span, SpanRecorder
 
 __all__ = [
@@ -27,5 +27,6 @@ __all__ = [
     "SLOWindow",
     "Span",
     "SpanRecorder",
+    "bucket_times",
     "compute_slo",
 ]

@@ -33,7 +33,7 @@ import numpy as np
 
 from .spans import Span, SpanRecorder
 
-__all__ = ["SLOWindow", "EntitySLO", "SLOReport", "compute_slo"]
+__all__ = ["SLOWindow", "EntitySLO", "SLOReport", "bucket_times", "compute_slo"]
 
 #: byte-routing annotation keys, in dashboard display order
 ROUTES = ("local", "remote", "pfs")
@@ -157,6 +157,24 @@ def _aggregate(
     slo.p50, slo.p95, slo.p99 = _percentiles(all_latencies)
     slo.windows = windows
     return slo
+
+
+def bucket_times(
+    times: list[float], window: float, origin: float, horizon: float
+) -> list[int]:
+    """Per-window event counts over the same grid :func:`compute_slo`
+    uses, so point events (membership transitions, fault onsets) line
+    up column-for-column under a report's degradation strip.  Events
+    outside ``[origin, horizon)`` are dropped."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n_windows = max(1, math.ceil((horizon - origin) / window - 1e-9))
+    counts = [0] * n_windows
+    for t in times:
+        if not (origin <= t < horizon + 1e-12):
+            continue
+        counts[min(n_windows - 1, max(0, int((t - origin) / window)))] += 1
+    return counts
 
 
 def compute_slo(

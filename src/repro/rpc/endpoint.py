@@ -88,6 +88,14 @@ class RPCEndpoint:
         #: outbound call records an ``rpc.<op>`` span under the caller's
         #: parent span
         self.spans = spans
+        #: optional membership piggyback hooks.  ``digest_provider()``
+        #: returns ``(digest, extra_bytes)`` attached to every outbound
+        #: request and every reply this endpoint sends;
+        #: ``digest_sink(digest, peer_node)`` receives whatever rode in
+        #: on the other direction.  Handlers never see the digests —
+        #: membership traffic is free-riding, not a new RPC.
+        self.digest_provider: Optional[Callable[[], tuple]] = None
+        self.digest_sink: Optional[Callable[[Any, int], None]] = None
 
     def __repr__(self) -> str:
         state = "up" if self._alive else "DOWN"
@@ -193,9 +201,16 @@ class RPCEndpoint:
             raise RPCError(f"endpoint {target.name} is down")
         env = self.env
 
+        # Membership digest piggybacks on the request header for free
+        # (modulo its wire bytes) — suspicion spreads along whatever
+        # request edges the workload already exercises.
+        piggyback, extra_bytes = (None, 0)
+        if self.digest_provider is not None:
+            piggyback, extra_bytes = self.digest_provider()
+
         # Request header (+ inline payload) crosses the wire.
         delivered = yield from self.fabric.transfer(
-            self.node_id, target.node_id, _HEADER_BYTES + payload_bytes
+            self.node_id, target.node_id, _HEADER_BYTES + payload_bytes + extra_bytes
         )
         if not delivered:
             # Request lost in the fabric: the caller learns nothing until
@@ -208,7 +223,9 @@ class RPCEndpoint:
 
         done = env.event()
         env.process(
-            target._serve(op, payload, self.node_id, response_bytes, done),
+            target._serve(
+                op, payload, self.node_id, response_bytes, done, piggyback=piggyback
+            ),
             name=f"{target.name}.{op}",
         )
         if timeout is None:
@@ -219,7 +236,9 @@ class RPCEndpoint:
             if done not in result:
                 raise RPCTimeout(f"{op} on {target.name} after {timeout}s")
             outcome = result[done]
-        ok, value = outcome
+        ok, value, reply_extra = outcome
+        if reply_extra is not None and self.digest_sink is not None:
+            self.digest_sink(reply_extra, target.node_id)
         if not ok:
             raise RPCError(f"{op} on {target.name} failed: {value!r}") from value
         return value
@@ -231,37 +250,47 @@ class RPCEndpoint:
         src: int,
         response_bytes: int,
         done: Event,
+        piggyback: Any = None,
     ) -> Generator:
         if self._hung:
             # A hung server's progress loop never dispatches the request;
             # the caller's deadline is its only way out.
             return
+        if piggyback is not None and self.digest_sink is not None:
+            # Absorb the caller's membership digest before dispatch so a
+            # server accused in it can refute on this very reply.
+            self.digest_sink(piggyback, src)
         handler = self._handlers.get(op)
         if handler is None:
-            done.succeed((False, SimulationError(f"no handler for {op!r} on {self.name}")))
+            done.succeed(
+                (False, SimulationError(f"no handler for {op!r} on {self.name}"), None)
+            )
             return
         try:
             value = yield self.env.process(
                 handler(payload, src), name=f"{self.name}.{op}.h"
             )
         except Exception as err:  # noqa: BLE001 — relayed to caller
-            done.succeed((False, err))
+            done.succeed((False, err, None))
             return
         if not self._alive:
             # Died while serving: response is lost.
-            done.succeed((False, RPCError(f"endpoint {self.name} died")))
+            done.succeed((False, RPCError(f"endpoint {self.name} died"), None))
             return
         if self._hung:
             # Hung after serving: the reply is never posted.
             return
+        reply_extra, reply_bytes = (None, 0)
+        if self.digest_provider is not None:
+            reply_extra, reply_bytes = self.digest_provider()
         delivered = yield from self.fabric.transfer(
-            self.node_id, src, _HEADER_BYTES + response_bytes
+            self.node_id, src, _HEADER_BYTES + response_bytes + reply_bytes
         )
         if not delivered:
             # Reply lost in the fabric (Mercury cancel semantics): the
             # caller sees only its deadline expire.
             return
-        done.succeed((True, value))
+        done.succeed((True, value, reply_extra))
 
     # -- bulk ------------------------------------------------------------
     def bulk_pull(self, handle: BulkHandle) -> Generator:

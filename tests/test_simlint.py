@@ -37,6 +37,11 @@ BAD_FIXTURES = {
     ),
     "SIM007": "import time\n\ndef serve():\n    time.sleep(0.1)\n",
     "SIM008": "vals = {0.1, 0.2, 0.3}\n\ndef total():\n    return sum(vals)\n",
+    "SIM009": (
+        "index = {}\n\n"
+        "def register(obj):\n"
+        "    index[id(obj)] = obj\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -77,6 +82,11 @@ GOOD_FIXTURES = {
         "vals = {0.1, 0.2, 0.3}\n\n"
         "def total():\n"
         "    return sum(sorted(vals))\n"
+    ),
+    "SIM009": (
+        "index = {}\n\n"
+        "def register(obj):\n"
+        "    index[obj.name] = obj\n"
     ),
 }
 
@@ -171,6 +181,19 @@ class TestRuleDetails:
         # a generator over a set is the SIM004 iteration hazard, and
         # only that — no double report
         assert codes("xs = {0.1}\nt = sum(x for x in xs)\n") == ["SIM004"]
+
+    def test_sim009_subscript_read_and_write(self):
+        assert codes("d = {}\nd[id(1)] = 2\n") == ["SIM009"]
+        assert codes("d = {}\nx = d[id(1)]\n") == ["SIM009"]
+
+    def test_sim009_dict_literal_and_comprehension(self):
+        assert codes("a = object()\nd = {id(a): 1}\n") == ["SIM009"]
+        assert codes("d = {id(o): o for o in [1, 2]}\n") == ["SIM009"]
+
+    def test_sim009_id_in_set_membership_is_fine(self):
+        # the engine's cycle guard: id() into a *set*, pure membership,
+        # never iterated — address instability can't leak into order
+        assert codes("s = set()\ns.add(id(1))\nok = id(2) in s\n") == []
 
     def test_wall_clock_rules_skip_runtime_scope(self):
         src = "import time\n\ndef f():\n    time.sleep(1)\n    return time.time()\n"
