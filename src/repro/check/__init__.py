@@ -1,13 +1,22 @@
 """``repro check`` — the determinism & sim-safety analyzer.
 
-Two halves, both runnable from the CLI and from tests:
+Three layers, all runnable from the CLI and from tests:
 
-* **Static**: an AST lint pass (:mod:`.rules`, :mod:`.linter`) with
-  repro-specific rules SIM001–SIM007 guarding the engine's bit-for-bit
-  determinism contract (see docs/INTERNALS.md).
-* **Runtime**: event-stream fingerprinting (:class:`repro.simcore.EventTrace`)
-  plus a double-run comparison that, on divergence, bisects to the first
-  divergent kernel event (:mod:`.divergence`).
+* **Static, per-function**: an AST lint pass (:mod:`.rules`,
+  :mod:`.linter`) with repro-specific rules SIM001–SIM010 guarding the
+  engine's bit-for-bit determinism contract (see docs/INTERNALS.md).
+* **Static, interprocedural**: a module-level call-graph + taint pass
+  (:mod:`.callgraph`, :mod:`.taint`) that propagates nondeterminism
+  primitives through helpers and across modules, reporting SIM011 at
+  the sim-scope call site with the full source→sink chain
+  (``repro check --taint``).
+* **Runtime**: event-stream fingerprinting
+  (:class:`repro.simcore.EventTrace`) plus a double-run comparison
+  that, on divergence, bisects to the first divergent kernel event
+  (:mod:`.divergence`); and a sim-time race sanitizer (:mod:`.races`)
+  that flags same-timestamp events whose order is decided only by heap
+  insertion sequence yet touch the same shared-state cell
+  (``repro check --races``).
 """
 
 from __future__ import annotations
@@ -15,22 +24,37 @@ from __future__ import annotations
 import os
 
 from .divergence import DivergenceReport, find_first_divergence, fingerprint_run
-from .linter import lint_file, lint_paths, lint_source, scope_of
+from .linter import (
+    StaleWaiver,
+    TreeLint,
+    lint_file,
+    lint_paths,
+    lint_source,
+    lint_tree,
+    scope_of,
+)
+from .races import RaceReport, RaceSanitizer
 from .rules import RULES, Violation
 
 __all__ = [
     "RULES",
     "Violation",
     "DivergenceReport",
+    "RaceReport",
+    "RaceSanitizer",
+    "StaleWaiver",
+    "TreeLint",
     "find_first_divergence",
     "fingerprint_run",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_tree",
     "scope_of",
     "default_lint_roots",
     "run_lint",
     "run_determinism",
+    "run_races",
     "run_check",
 ]
 
@@ -41,19 +65,26 @@ def default_lint_roots() -> list[str]:
     return [pkg_root]  # .../src/repro
 
 
-def run_lint(paths: list[str] | None = None, verbose: bool = True) -> int:
-    """Lint the tree; print violations; return an exit code."""
+def run_lint(
+    paths: list[str] | None = None, verbose: bool = True, taint: bool = False
+) -> int:
+    """Lint the tree; print violations + stale waivers; return exit code."""
     roots = paths or default_lint_roots()
-    violations = lint_paths(roots)
-    for v in violations:
+    result = lint_tree(roots, taint=taint)
+    for v in result.violations:
         print(v.render())
+    for w in result.stale_waivers:
+        print(w.render())
     if verbose:
-        from .linter import _iter_python_files
-
-        n_files = sum(1 for root in roots for _ in _iter_python_files(root))
-        status = "clean" if not violations else f"{len(violations)} violation(s)"
-        print(f"simlint: {n_files} file(s) checked, {status}")
-    return 1 if violations else 0
+        bits = []
+        if result.violations:
+            bits.append(f"{len(result.violations)} violation(s)")
+        if result.stale_waivers:
+            bits.append(f"{len(result.stale_waivers)} stale waiver(s)")
+        status = ", ".join(bits) if bits else "clean"
+        pass_name = "simlint+taint" if taint else "simlint"
+        print(f"{pass_name}: {result.n_files} file(s) checked, {status}")
+    return 0 if result.clean else 1
 
 
 def _epochs_run(seed: int, n_nodes: int, files_per_rank: int):
@@ -107,19 +138,69 @@ def run_determinism(
     return 1
 
 
+def run_races(
+    seed: int = 0,
+    n_nodes: int = 4,
+    n_files: int = 12,
+    output: str | None = None,
+    verbose: bool = True,
+) -> int:
+    """Run the membership smoke scenario under the race sanitizer with
+    two seeds (different jitter landscapes); report every same-timestamp
+    shared-state conflict found."""
+    from .races import membership_smoke
+
+    reports: list[tuple[int, RaceReport]] = []
+    for s in (seed, seed + 1):
+        sanitizer = RaceSanitizer()
+        membership_smoke(seed=s, n_nodes=n_nodes, n_files=n_files,
+                         sanitizer=sanitizer)
+        reports.extend((s, r) for r in sanitizer.reports)
+
+    text_blocks = [
+        f"[seed {s}] {r.describe()}" for s, r in reports
+    ]
+    for block_ in text_blocks:
+        print(block_)
+    if output:
+        os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+        with open(output, "w", encoding="utf-8") as fh:
+            if text_blocks:
+                fh.write("\n\n".join(text_blocks) + "\n")
+            else:
+                fh.write(
+                    f"races: clean — seeds {seed},{seed + 1}, "
+                    f"{n_nodes} nodes, {n_files} files\n"
+                )
+    if verbose:
+        status = "clean" if not reports else f"{len(reports)} race(s)"
+        print(
+            f"races: seeds {seed},{seed + 1} on the membership smoke "
+            f"scenario — {status}"
+        )
+    return 1 if reports else 0
+
+
 def run_check(
     paths: list[str] | None = None,
     lint_only: bool = False,
     determinism_only: bool = False,
+    races_only: bool = False,
     seed: int = 0,
     n_nodes: int = 2,
     files_per_rank: int = 4,
     block: int = 2048,
+    taint: bool = False,
+    races: bool = False,
+    races_output: str | None = None,
 ) -> int:
-    """The full ``repro check``: lint, then the double-run comparison."""
+    """The full ``repro check``: lint (+taint), the double-run
+    comparison, and optionally the sim-time race sanitizer."""
     rc = 0
+    if races_only:
+        return run_races(seed=seed, output=races_output)
     if not determinism_only:
-        rc |= run_lint(paths)
+        rc |= run_lint(paths, taint=taint)
     if not lint_only:
         rc |= run_determinism(
             seed=seed,
@@ -127,4 +208,6 @@ def run_check(
             files_per_rank=files_per_rank,
             block=block,
         )
+    if races:
+        rc |= run_races(seed=seed, output=races_output)
     return rc

@@ -17,6 +17,11 @@ SIM008    float reduction (``sum``/``fsum``/``np.sum``) over an
           unordered ``set`` — accumulation order changes the result
 SIM009    dict keyed by ``id(...)`` — key values are memory addresses,
           so any iteration over it replays in allocation order
+SIM010    event scheduling (``.succeed()``/``.callbacks.append``/
+          ``env.process``) from iteration over an unordered ``set``
+SIM011    call into a helper that *transitively* reaches one of the
+          above primitives (emitted by the interprocedural taint pass
+          with the full source→sink chain)
 ========  ============================================================
 
 The rules are deliberately heuristic: they aim at the handful of
@@ -52,6 +57,14 @@ RULES: dict[str, str] = {
     "SIM009": "dict keyed by id(...); id values are memory addresses that "
     "differ across runs, so iterating the dict (or sorting its keys) "
     "replays in allocation order — key by a stable identity instead",
+    "SIM010": "event scheduling from iteration over an unordered set; the "
+    "trigger/callback/spawn order becomes the set's hash order, which is "
+    "exactly the heap insertion sequence the kernel ties on — iterate "
+    "sorted(...) or keep an ordered structure",
+    "SIM011": "call into a helper that transitively reaches a "
+    "nondeterminism primitive (wall clock, unmanaged RNG, salted hash(), "
+    "unordered-set iteration, blocking call); fix at the source or waive "
+    "the call site — reported by the interprocedural taint pass",
 }
 
 #: SIM001 targets (fully-qualified after import-alias resolution)
@@ -147,6 +160,8 @@ class _SimVisitor(ast.NodeVisitor):
         self._set_names: set[str] = set()
         #: stack of (function node, is_generator)
         self._funcs: list[tuple[ast.AST, bool]] = []
+        #: nesting depth of loops/comprehensions iterating a set (SIM010)
+        self._set_iter_depth = 0
 
     # -- plumbing ---------------------------------------------------------
     def _emit(self, rule: str, node: ast.AST, message: str | None = None) -> None:
@@ -259,12 +274,24 @@ class _SimVisitor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter)
-        self.generic_visit(node)
+        if self._is_set_expr(node.iter):
+            self._set_iter_depth += 1
+            self.generic_visit(node)
+            self._set_iter_depth -= 1
+        else:
+            self.generic_visit(node)
 
     def _visit_comp(self, node) -> None:
+        over_set = False
         for gen in node.generators:
             self._check_iteration(gen.iter)
-        self.generic_visit(node)
+            over_set = over_set or self._is_set_expr(gen.iter)
+        if over_set:
+            self._set_iter_depth += 1
+            self.generic_visit(node)
+            self._set_iter_depth -= 1
+        else:
+            self.generic_visit(node)
 
     visit_ListComp = visit_SetComp = visit_GeneratorExp = _visit_comp
 
@@ -393,7 +420,30 @@ class _SimVisitor(ast.NodeVisitor):
             # str.join always takes a positional iterable; a bare
             # .join() / .join(timeout=...) is a thread join.
             self._emit("SIM007", node, RULES["SIM007"] + " (thread join)")
+        if self._set_iter_depth > 0 and self._is_scheduling_call(node):
+            # the set's hash order becomes the callback/trigger/spawn
+            # order, i.e. the kernel's same-timestamp tie-break order
+            self._emit("SIM010", node)
         self.generic_visit(node)
+
+    @staticmethod
+    def _is_scheduling_call(node: ast.Call) -> bool:
+        """Calls that feed the event queue: triggering an event,
+        registering a callback, or spawning a process."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr in ("succeed", "fail", "trigger", "interrupt"):
+            return True
+        if (
+            func.attr == "append"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "callbacks"
+        ):
+            return True
+        return func.attr == "process" and (
+            (_root_name(func.value) or "").endswith("env")
+        )
 
 
 def collect_violations(

@@ -177,10 +177,14 @@ def cmd_check(args: argparse.Namespace) -> int:
         paths=args.paths or None,
         lint_only=args.lint_only,
         determinism_only=args.determinism_only,
+        races_only=args.races_only,
         seed=args.seed,
         n_nodes=args.nodes,
         files_per_rank=args.files_per_rank,
         block=args.block,
+        taint=args.taint,
+        races=args.races,
+        races_output=args.races_output,
     )
 
 
@@ -367,6 +371,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the double-run determinism check")
     p.add_argument("--determinism-only", action="store_true",
                    help="skip the lint pass")
+    p.add_argument("--taint", action="store_true",
+                   help="run the interprocedural taint pass (SIM011): flag "
+                   "sim-scope calls that transitively reach a "
+                   "nondeterminism primitive in a helper/another module")
+    p.add_argument("--races", action="store_true",
+                   help="also run the sim-time race sanitizer over the "
+                   "membership smoke scenario (two seeds)")
+    p.add_argument("--races-only", action="store_true",
+                   help="run only the race sanitizer")
+    p.add_argument("--races-output", metavar="FILE",
+                   help="write race reports (or a clean marker) to FILE")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--nodes", type=int, default=2,
                    help="nodes in the determinism-check experiment")

@@ -246,17 +246,23 @@ class RateLimiter:
     cross the real fabric links afterwards and contend there.
     """
 
-    def __init__(self, env: Environment, rate: float = 0.0):
+    def __init__(self, env: Environment, rate: float = 0.0, name: str = "limiter"):
         if rate < 0:
             raise SimulationError("rate must be >= 0")
         self.env = env
         self.rate = rate
+        self.name = name
         self._ready = 0.0
 
     def throttle(self, nbytes: int) -> Generator:
         """Yield until ``nbytes`` fit under the configured rate."""
         if self.rate <= 0:
             return
+        # The reservation below is read-modify-write on the shared token:
+        # two flows throttling at one timestamp get paced in nothing but
+        # heap-insertion order, which the race sanitizer flags.
+        self.env.note_access(f"limiter.{self.name}", "r")
+        self.env.note_access(f"limiter.{self.name}", "w")
         start = max(self._ready, self.env.now)
         self._ready = start + nbytes / self.rate
         delay = self._ready - self.env.now

@@ -174,9 +174,13 @@ class CacheManager:
         self._scope = self.metrics.scope(name)
         self._sizes: dict[str, int] = {}
         self._used = 0
+        #: race-sanitizer cell: the whole map is one cell because the
+        #: byte budget couples entries (an insert can evict any path)
+        self._cell = f"cache.{name}"
 
     # -- queries -----------------------------------------------------------
     def contains(self, path: str) -> bool:
+        self.env.note_access(self._cell, "r")
         return path in self._sizes
 
     @property
@@ -190,6 +194,7 @@ class CacheManager:
     def contents(self) -> list[tuple[str, int]]:
         """``(path, size)`` of every resident file, in sorted order —
         the stable iteration surface repair planning walks."""
+        self.env.note_access(self._cell, "r")
         return sorted(self._sizes.items())
 
     def touch(self, path: str) -> None:
@@ -207,6 +212,7 @@ class CacheManager:
         """
         if size <= 0:
             raise ValueError("size must be positive")
+        self.env.note_access(self._cell, "w")
         if path in self._sizes:
             self.touch(path)
             return True
@@ -231,6 +237,7 @@ class CacheManager:
         return True
 
     def _evict(self, path: str) -> None:
+        self.env.note_access(self._cell, "w")
         size = self._sizes.pop(path)
         self._used -= size
         self.localfs.device.release(size)
@@ -251,6 +258,7 @@ class CacheManager:
     # -- timed access --------------------------------------------------------
     def read(self, path: str) -> Generator:
         """Serve a cached file from the NVMe; returns its size."""
+        self.env.note_access(self._cell, "r")
         size = self._sizes.get(path)
         if size is None:
             raise KeyError(path)

@@ -261,11 +261,16 @@ class HVACServer:
         self.endpoint.digest_provider = provide
         self.endpoint.digest_sink = absorb
 
+    def _inflight_cell(self, path: str) -> str:
+        """Race-sanitizer cell name for one dedup slot."""
+        return f"s{self.server_id}.inflight:{path}"
+
     def _flush_inflight(self) -> None:
         """Fail every dedup waiter parked on an in-flight fetch: the
         fetch's result dies with the server, and a waiter left pending
         would hang its client forever (it can never be re-triggered)."""
-        for pending in self._inflight.values():
+        for path, pending in sorted(self._inflight.items()):
+            self.env.note_access(self._inflight_cell(path), "w")
             if not pending.triggered:
                 # Pre-defuse: with zero waiters the kernel must not treat
                 # the failure as unhandled; real waiters still get the
@@ -404,6 +409,9 @@ class HVACServer:
                 return
 
             self._incr("cache_misses")
+            # Per-path race-sanitizer cell: the dedup slot decides which
+            # request becomes the fetcher and which become waiters.
+            self.env.note_access(self._inflight_cell(req.path), "r")
             pending = self._inflight.get(req.path)
             if pending is not None:
                 # Another client is already copying this file in: wait on
@@ -419,6 +427,7 @@ class HVACServer:
                 return
 
             fetch_done = self.env.event()
+            self.env.note_access(self._inflight_cell(req.path), "w")
             self._inflight[req.path] = fetch_done
             try:
                 with self._copy_slots.request() as cslot:
@@ -445,6 +454,7 @@ class HVACServer:
             finally:
                 # fail()/recover() may already have flushed the dict and
                 # failed the event while this fetch was in flight.
+                self.env.note_access(self._inflight_cell(req.path), "w")
                 self._inflight.pop(req.path, None)
                 if not fetch_done.triggered:
                     fetch_done.succeed()

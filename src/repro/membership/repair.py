@@ -62,12 +62,15 @@ class RepairManager:
         self.dep = deployment
         self.env = deployment.env
         #: one shared pacer for every concurrent repair stream
-        self.limiter = RateLimiter(self.env, bandwidth)
+        self.limiter = RateLimiter(self.env, bandwidth, name="repair")
         #: dataset manifest ``(path, size)`` — the authority on what a
         #: server *should* hold; attach_manifest() fills it
         self.manifest: list[tuple[str, int]] = []
         self.reports: list[RepairReport] = []
         self.in_flight = 0
+        #: recoveries seen this instant, started as one sorted batch
+        self._pending: list = []
+        self._starter_active = False
         self.metrics = (
             metrics
             if metrics is not None
@@ -81,11 +84,29 @@ class RepairManager:
 
     # -- lifecycle ----------------------------------------------------------
     def on_recover(self, server) -> None:
-        """Called by ``HVACServer.recover``: start the repair stream."""
+        """Called by ``HVACServer.recover``: start the repair stream.
+
+        Recoveries landing at the same instant (a burst restart) are
+        collected and launched by one starter process in ``server_id``
+        order.  Spawning each stream directly from its caller would make
+        the first-throttle order on the shared limiter depend on nothing
+        but heap insertion sequence — the exact class of bug the race
+        sanitizer exists to flag.
+        """
         self.in_flight += 1
-        self.env.process(
-            self._repair(server), name=f"repair.s{server.server_id}"
-        )
+        self._pending.append(server)
+        if not self._starter_active:
+            self._starter_active = True
+            self.env.process(self._start_pending(), name="repair.start")
+
+    def _start_pending(self):
+        yield self.env.timeout(0.0)
+        batch, self._pending = self._pending, []
+        self._starter_active = False
+        for server in sorted(batch, key=lambda s: s.server_id):
+            self.env.process(
+                self._repair(server), name=f"repair.s{server.server_id}"
+            )
 
     # -- planning -----------------------------------------------------------
     def _plan(self, server) -> list[tuple[str, int, object]]:

@@ -84,6 +84,13 @@ class MembershipView:
 
     # -- internal -----------------------------------------------------------
     def _adopt(self, sid: int, inc: int, state: str, why: str) -> None:
+        # Race-sanitizer cell per (view, member) slot.  The tag makes two
+        # same-timestamp adoptions of the identical lattice value (e.g.
+        # one death certificate arriving via two gossip digests) count as
+        # idempotent rather than racing.
+        self.env.note_access(
+            f"view.{self.owner}.m{sid}", "w", tag=(sid, inc, state)
+        )
         old = self._state[sid]
         now = self.env.now
         if state == SUSPECTED and old != SUSPECTED:

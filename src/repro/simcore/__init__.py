@@ -16,7 +16,7 @@ from .monitor import Counter, Histogram, MetricRegistry, MetricScope, Series, Ta
 from .rand import RandomStreams, stable_hash64
 from .resources import Container, PriorityResource, Resource
 from .stores import FilterStore, PriorityStore, Store, StoreFull
-from .trace import EventRecord, EventTrace
+from .trace import EventRecord, EventTrace, event_label
 
 __all__ = [
     "AllOf",
@@ -28,6 +28,7 @@ __all__ = [
     "Event",
     "EventRecord",
     "EventTrace",
+    "event_label",
     "FilterStore",
     "Histogram",
     "Interrupt",

@@ -26,6 +26,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from .trace import event_label
+
 __all__ = [
     "Environment",
     "Event",
@@ -414,6 +416,8 @@ class Environment:
         self._active_proc: Optional[Process] = None
         # Opt-in event-stream fingerprinting (see simcore/trace.py).
         self._trace = None
+        # Opt-in sim-time race sanitizer (see repro/check/races.py).
+        self._sanitizer = None
 
     # -- tracing -------------------------------------------------------
     @property
@@ -427,6 +431,34 @@ class Environment:
 
     def detach_trace(self) -> None:
         self._trace = None
+
+    # -- race sanitizing ----------------------------------------------
+    @property
+    def sanitizer(self):
+        """The attached race sanitizer, if any."""
+        return self._sanitizer
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Record shared-state access sets per fired event from now on.
+
+        The sanitizer observes only — it creates no events and draws no
+        RNG, so the event-stream fingerprint is unchanged.
+        """
+        self._sanitizer = sanitizer
+
+    def detach_sanitizer(self) -> None:
+        self._sanitizer = None
+
+    def note_access(self, cell: str, mode: str, tag=None) -> None:
+        """Declare a read (``"r"``) or write (``"w"``) of a registered
+        shared-state cell by the currently executing event.
+
+        Pay-for-what-you-use: one ``is None`` check when no sanitizer
+        is attached.  ``tag`` marks idempotent writes — two pure writes
+        of the same tag at one timestamp commute and are not a race.
+        """
+        if self._sanitizer is not None:
+            self._sanitizer.note(cell, mode, tag)
 
     # -- public surface ----------------------------------------------
     @property
@@ -458,9 +490,12 @@ class Environment:
 
     # -- scheduling / stepping ----------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
+        seq = next(self._seq)
+        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
+        if self._sanitizer is not None:
+            # Same-timestamp causality: a zero-delay child's order after
+            # its scheduler is program-defined, not insertion-accidental.
+            self._sanitizer.note_schedule(seq, delay)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue empty."""
@@ -473,15 +508,19 @@ class Environment:
         except IndexError:
             raise SimulationError("No scheduled events") from None
 
-        if self._trace is not None:
-            label = type(event).__name__
-            if isinstance(event, Process):
-                label = f"Process:{event.name}"
-            self._trace.record(self._now, priority, seq, label)
+        if self._trace is not None or self._sanitizer is not None:
+            label = event_label(event)
+            if self._trace is not None:
+                self._trace.record(self._now, priority, seq, label)
+            if self._sanitizer is not None:
+                self._sanitizer.begin_event(self._now, priority, seq, label)
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
+
+        if self._sanitizer is not None:
+            self._sanitizer.end_event()
 
         if not event._ok and not event._defused:
             # Unhandled failure: crash the simulation loudly.

@@ -20,7 +20,16 @@ from __future__ import annotations
 import hashlib
 from typing import NamedTuple, Optional
 
-__all__ = ["EventRecord", "EventTrace"]
+__all__ = ["EventRecord", "EventTrace", "event_label"]
+
+
+def event_label(event) -> str:
+    """The label both the fingerprint and the race sanitizer key on:
+    the event's type, plus the process name for Process events."""
+    cls = type(event).__name__
+    if cls == "Process":
+        return f"Process:{event.name}"
+    return cls
 
 
 class EventRecord(NamedTuple):

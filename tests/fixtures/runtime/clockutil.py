@@ -1,0 +1,12 @@
+"""Runtime-scope helper: a real wall-clock read.
+
+Legitimate *here* — ``scope_of`` exempts ``runtime``/``posix`` packages
+from SIM001 — but any sim-scope caller inherits the nondeterminism,
+which is exactly what the interprocedural taint pass exists to catch.
+"""
+
+import time
+
+
+def read_clock():
+    return time.time()

@@ -1,0 +1,15 @@
+"""SIM010 fixture: event scheduling driven by set iteration.
+
+The trigger order of the waiters — and therefore the heap insertion
+sequence of everything they go on to schedule — is the set's hash
+order, which PYTHONHASHSEED reshuffles between runs.
+"""
+
+waiters = set()
+
+
+def flush(env):
+    for evt in waiters:
+        evt.succeed()
+    spawned = [env.process(w) for w in waiters]
+    return spawned

@@ -1,0 +1,11 @@
+"""SIM010 fixture (clean): the same flush with a sorted iteration
+surface — trigger order is now a program property, not hash order."""
+
+waiters = set()
+
+
+def flush(env):
+    for evt in sorted(waiters, key=lambda e: e.seq):
+        evt.succeed()
+    spawned = [env.process(w) for w in sorted(waiters, key=lambda e: e.seq)]
+    return spawned

@@ -1,0 +1,13 @@
+"""Sim-scope module whose nondeterminism hides one call away.
+
+Linted alone this file is clean: no primitive appears in it.  The
+per-function AST pass therefore misses the wall-clock read entirely —
+only ``repro check --taint`` (SIM011) flags the ``read_clock()`` call
+site with the source chain.
+"""
+
+from runtime.clockutil import read_clock
+
+
+def deadline(env):
+    return env.now + read_clock()

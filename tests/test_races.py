@@ -1,0 +1,263 @@
+"""Sim-time race sanitizer: detection, exemptions, and the clean gate.
+
+The sanitizer's contract has three legs, each pinned here:
+
+1. it *finds* same-timestamp write/write and read/write overlaps on a
+   shared-state cell (seeded synthetic fixtures, plus the pre-fix
+   repair-manager spawn path as a regression);
+2. it *exempts* orderings that are program-defined (causal chains,
+   idempotent same-tag writes) so real code isn't drowned in noise;
+3. it *observes only*: the membership smoke scenario runs sanitizer-
+   clean, with a bit-for-bit identical event-stream fingerprint.
+"""
+
+import pytest
+
+from repro.check import RaceSanitizer, run_races
+from repro.check.races import membership_smoke
+from repro.simcore import Environment, EventTrace
+
+
+def _sanitized_env():
+    env = Environment()
+    san = RaceSanitizer()
+    env.attach_sanitizer(san)
+    return env, san
+
+
+def _writer(env, cell, at, mode="w", tag=None):
+    yield env.timeout(at)
+    env.note_access(cell, mode, tag=tag)
+
+
+class TestDetection:
+    def test_same_timestamp_write_write(self):
+        env, san = _sanitized_env()
+        env.process(_writer(env, "counter", 1.0), name="a")
+        env.process(_writer(env, "counter", 1.0), name="b")
+        env.run()
+        san.finish()
+        assert len(san.reports) == 1
+        r = san.reports[0]
+        assert r.kind == "w/w"
+        assert r.cell == "counter" and r.time == 1.0
+        assert r.a_seq < r.b_seq
+
+    def test_read_write_conflicts(self):
+        env, san = _sanitized_env()
+        env.process(_writer(env, "slot", 1.0, mode="r"), name="reader")
+        env.process(_writer(env, "slot", 1.0, mode="w"), name="writer")
+        env.run()
+        san.finish()
+        assert len(san.reports) == 1
+        assert san.reports[0].kind in ("r/w", "w/r")
+
+    def test_report_carries_both_stacks_and_describes(self):
+        env, san = _sanitized_env()
+        env.process(_writer(env, "slot", 1.0), name="a")
+        env.process(_writer(env, "slot", 1.0), name="b")
+        env.run()
+        san.finish()
+        (r,) = san.reports
+        assert any("_writer" in s for s in r.a_sites)
+        assert any("_writer" in s for s in r.b_sites)
+        text = r.describe()
+        assert "same-timestamp race" in text and "slot" in text
+        assert "heap insertion sequence" in text
+
+    def test_final_timestamp_needs_finish(self):
+        # the last group is only analyzable once no event can join it
+        env, san = _sanitized_env()
+        env.process(_writer(env, "slot", 1.0), name="a")
+        env.process(_writer(env, "slot", 1.0), name="b")
+        env.run()
+        assert san.reports == []
+        san.finish()
+        assert len(san.reports) == 1
+
+    def test_repeated_conflict_reported_once(self):
+        env, san = _sanitized_env()
+
+        def loop(env):
+            for _ in range(5):
+                yield env.timeout(1.0)
+                env.note_access("slot", "w")
+
+        env.process(loop(env), name="a")
+        env.process(loop(env), name="b")
+        env.run()
+        san.finish()
+        assert len(san.reports) == 1  # same structural pair, deduped
+
+
+class TestExemptions:
+    def test_read_read_is_fine(self):
+        env, san = _sanitized_env()
+        env.process(_writer(env, "slot", 1.0, mode="r"), name="a")
+        env.process(_writer(env, "slot", 1.0, mode="r"), name="b")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def test_distinct_cells_are_fine(self):
+        env, san = _sanitized_env()
+        env.process(_writer(env, "slot.a", 1.0), name="a")
+        env.process(_writer(env, "slot.b", 1.0), name="b")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def test_distinct_timestamps_are_fine(self):
+        env, san = _sanitized_env()
+        env.process(_writer(env, "slot", 1.0), name="a")
+        env.process(_writer(env, "slot", 2.0), name="b")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def test_causal_chain_is_program_ordered(self):
+        # parent writes, then spawns the child at the same instant: the
+        # child's position after the parent is the program's own choice
+        env, san = _sanitized_env()
+
+        def child(env):
+            env.note_access("slot", "w", tag="child")
+            yield env.timeout(0.0)
+
+        def parent(env):
+            yield env.timeout(1.0)
+            env.note_access("slot", "w", tag="parent")
+            env.process(child(env), name="child")
+
+        env.process(parent(env), name="parent")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def test_sibling_spawns_share_a_root(self):
+        # one starter spawning both streams (the repair-manager fix
+        # pattern): their order is the starter's loop order
+        env, san = _sanitized_env()
+
+        def stream(env, tag):
+            env.note_access("slot", "w", tag=tag)
+            yield env.timeout(0.0)
+
+        def starter(env):
+            yield env.timeout(1.0)
+            env.process(stream(env, "s1"), name="s1")
+            env.process(stream(env, "s2"), name="s2")
+
+        env.process(starter(env), name="starter")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def test_idempotent_same_tag_writes_commute(self):
+        env, san = _sanitized_env()
+        env.process(_writer(env, "view.m3", 1.0, tag=(3, 1, "dead")), name="a")
+        env.process(_writer(env, "view.m3", 1.0, tag=(3, 1, "dead")), name="b")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def test_differing_tags_still_race(self):
+        env, san = _sanitized_env()
+        env.process(_writer(env, "view.m3", 1.0, tag=(3, 1, "dead")), name="a")
+        env.process(_writer(env, "view.m3", 1.0, tag=(3, 2, "alive")), name="b")
+        env.run()
+        san.finish()
+        assert len(san.reports) == 1
+
+    def test_driver_context_access_is_ignored(self):
+        env, san = _sanitized_env()
+        env.note_access("slot", "w")  # outside any event: program order
+        env.process(_writer(env, "slot", 1.0), name="a")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def test_no_sanitizer_note_access_is_noop(self):
+        env = Environment()
+        env.note_access("slot", "w")  # must not raise
+
+
+class TestSmokeGate:
+    """The in-tree scenario gate: instrumented components run race-free."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_membership_smoke_is_sanitizer_clean(self, seed):
+        san = RaceSanitizer()
+        membership_smoke(seed=seed, sanitizer=san)
+        assert san.reports == [], "\n\n".join(
+            r.describe() for r in san.reports
+        )
+
+    def test_sanitizer_leaves_fingerprint_unchanged(self):
+        plain = EventTrace()
+        membership_smoke(seed=0, trace=plain)
+        sanitized = EventTrace()
+        membership_smoke(seed=0, sanitizer=RaceSanitizer(), trace=sanitized)
+        assert plain.count == sanitized.count
+        assert plain.fingerprint == sanitized.fingerprint
+
+    def test_smoke_is_deterministic_across_runs(self):
+        a, b = EventTrace(), EventTrace()
+        membership_smoke(seed=0, trace=a)
+        membership_smoke(seed=0, trace=b)
+        assert a.fingerprint == b.fingerprint
+
+
+class TestRepairSpawnRegression:
+    """The race the sanitizer surfaced in-tree: burst recoveries used to
+    spawn repair streams straight from their callers, so the first
+    ``throttle`` order on the shared limiter was pure heap-insertion
+    accident.  The batched starter fixed it; keep both directions pinned.
+    """
+
+    def test_old_direct_spawn_races_on_the_limiter(self, monkeypatch):
+        from repro.membership.repair import RepairManager
+
+        def direct_spawn(self, server):
+            self.in_flight += 1
+            self.env.process(
+                self._repair(server), name=f"repair.s{server.server_id}"
+            )
+
+        monkeypatch.setattr(RepairManager, "on_recover", direct_spawn)
+        san = RaceSanitizer()
+        membership_smoke(seed=0, sanitizer=san)
+        assert any(r.cell == "limiter.repair" for r in san.reports)
+
+    def test_batched_starter_is_clean_and_deterministic(self):
+        san = RaceSanitizer()
+        a = EventTrace()
+        membership_smoke(seed=0, sanitizer=san, trace=a)
+        assert not any(r.cell == "limiter.repair" for r in san.reports)
+        b = EventTrace()
+        membership_smoke(seed=0, trace=b)
+        assert a.fingerprint == b.fingerprint
+
+
+class TestRunRaces:
+    def test_clean_run_exits_zero_and_writes_marker(self, tmp_path, capsys):
+        out = tmp_path / "races.txt"
+        assert run_races(seed=0, output=str(out), verbose=False) == 0
+        assert "clean" in out.read_text()
+
+    def test_racy_run_exits_nonzero_and_writes_reports(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.membership.repair import RepairManager
+
+        def direct_spawn(self, server):
+            self.in_flight += 1
+            self.env.process(
+                self._repair(server), name=f"repair.s{server.server_id}"
+            )
+
+        monkeypatch.setattr(RepairManager, "on_recover", direct_spawn)
+        out = tmp_path / "races.txt"
+        assert run_races(seed=0, output=str(out), verbose=False) == 1
+        text = out.read_text()
+        assert "limiter.repair" in text and "same-timestamp race" in text

@@ -1,14 +1,15 @@
-"""simlint: per-rule good/bad fixtures, waivers, and repo cleanliness."""
+"""simlint: per-rule good/bad fixtures, waivers, taint, repo cleanliness."""
 
 import os
 
 import pytest
 
-from repro.check import RULES, lint_paths, lint_source, scope_of
+from repro.check import RULES, lint_paths, lint_source, lint_tree, scope_of
 
 SRC_ROOT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src", "repro"
 )
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
 
 
 def codes(source, **kw):
@@ -41,6 +42,19 @@ BAD_FIXTURES = {
         "index = {}\n\n"
         "def register(obj):\n"
         "    index[id(obj)] = obj\n"
+    ),
+    "SIM010": (
+        "waiters = set()\n\n"
+        "def flush():\n"
+        "    for evt in waiters:\n"
+        "        evt.succeed()\n"
+    ),
+    "SIM011": (
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()\n\n"
+        "def cost(env):\n"
+        "    return env.now + stamp()\n"
     ),
 }
 
@@ -87,6 +101,18 @@ GOOD_FIXTURES = {
         "index = {}\n\n"
         "def register(obj):\n"
         "    index[obj.name] = obj\n"
+    ),
+    "SIM010": (
+        "waiters = set()\n\n"
+        "def flush():\n"
+        "    for evt in sorted(waiters, key=lambda e: e.seq):\n"
+        "        evt.succeed()\n"
+    ),
+    "SIM011": (
+        "def clock(env):\n"
+        "    return env.now\n\n"
+        "def cost(env):\n"
+        "    return clock(env) + 1.0\n"
     ),
 }
 
@@ -201,6 +227,95 @@ class TestRuleDetails:
         assert codes(src, scope="runtime") == []
 
 
+class TestSim010Details:
+    def test_comprehension_spawn(self):
+        src = (
+            "live = set()\n\n"
+            "def go(env):\n"
+            "    return [env.process(w) for w in live]\n"
+        )
+        assert "SIM010" in codes(src)
+
+    def test_callbacks_append(self):
+        src = (
+            "live = set()\n\n"
+            "def chain(evt):\n"
+            "    for w in live:\n"
+            "        w.callbacks.append(evt)\n"
+        )
+        assert "SIM010" in codes(src)
+
+    def test_list_iteration_is_fine(self):
+        src = (
+            "live = []\n\n"
+            "def flush():\n"
+            "    for evt in live:\n"
+            "        evt.succeed()\n"
+        )
+        assert codes(src) == []
+
+    def test_non_scheduling_call_in_set_loop_is_sim004_only(self):
+        src = (
+            "live = set()\n\n"
+            "def total():\n"
+            "    acc = 0\n"
+            "    for w in live:\n"
+            "        acc += w.weight()\n"
+            "    return acc\n"
+        )
+        assert codes(src) == ["SIM004"]
+
+
+class TestSim011Details:
+    def test_chain_through_two_helpers(self):
+        src = (
+            "import time\n\n"
+            "def inner():\n"
+            "    return time.time()\n\n"
+            "def outer():\n"
+            "    return inner()\n\n"
+            "def cost(env):\n"
+            "    return env.now + outer()\n"
+        )
+        got = lint_source(src, scope="sim")
+        sim011 = [v for v in got if v.rule == "SIM011"]
+        assert len(sim011) == 2  # at outer()'s call of inner, and cost's of outer
+        assert any("outer -> inner" in v.message for v in sim011)
+
+    def test_waived_primitive_does_not_taint(self):
+        # a waiver sanctions the site — callers must not inherit SIM011
+        src = (
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # simlint: waive SIM001 -- wall-clock telemetry\n\n"
+            "def cost(env):\n"
+            "    return env.now + stamp()\n"
+        )
+        assert codes(src) == []
+
+    def test_set_argument_into_iterating_callee(self):
+        src = (
+            "def drain(items):\n"
+            "    return [x.key for x in items]\n\n"
+            "def plan():\n"
+            "    live = set()\n"
+            "    return drain(live)\n"
+        )
+        got = lint_source(src, scope="sim")
+        assert [v.rule for v in got] == ["SIM011"]
+        assert "unordered set" in got[0].message
+
+    def test_rng_stream_helpers_stay_clean(self):
+        src = (
+            "from repro.simcore import RandomStreams\n\n"
+            "def streams(seed):\n"
+            "    return RandomStreams(seed).stream('evict')\n\n"
+            "def pick(seed):\n"
+            "    return streams(seed).integers(10)\n"
+        )
+        assert codes(src) == []
+
+
 class TestWaivers:
     def test_same_line_waiver(self):
         src = "h = hash('x')  # simlint: waive SIM003 -- demo\n"
@@ -223,6 +338,71 @@ class TestWaivers:
         assert codes(src) == ["SIM003"]
 
 
+class TestStaleWaivers:
+    def test_stale_waiver_reported(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "x = 1  # simlint: waive SIM003 -- excuse that outlived its bug\n"
+        )
+        result = lint_tree([str(tmp_path)])
+        assert result.violations == []
+        assert len(result.stale_waivers) == 1
+        stale = result.stale_waivers[0]
+        assert stale.line == 1 and stale.codes == frozenset({"SIM003"})
+        assert "stale waiver" in stale.render()
+        assert not result.clean
+
+    def test_used_waiver_is_not_stale(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("h = hash('x')  # simlint: waive SIM003 -- demo\n")
+        result = lint_tree([str(tmp_path)])
+        assert result.violations == [] and result.stale_waivers == []
+        assert result.clean
+
+    def test_waiver_quoted_in_docstring_is_not_a_waiver(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text('"""e.g. # simlint: waive SIM003 -- docs"""\n')
+        result = lint_tree([str(tmp_path)])
+        assert result.stale_waivers == []
+
+    def test_run_lint_exits_nonzero_on_stale_waiver(self, tmp_path, capsys):
+        from repro.check import run_lint
+
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # simlint: waive -- nothing here anymore\n")
+        assert run_lint([str(tmp_path)]) == 1
+        assert "stale waiver" in capsys.readouterr().out
+
+    def test_sim011_waiver_exempt_without_taint(self, tmp_path):
+        # only the cross-module pass can consume a SIM011 waiver; a
+        # taint-off run must not call it stale
+        mod = tmp_path / "mod.py"
+        mod.write_text("y = helper()  # simlint: waive SIM011 -- sanctioned\n")
+        assert lint_tree([str(tmp_path)], taint=False).stale_waivers == []
+
+
+class TestCrossModuleTaint:
+    def test_taint_catches_what_per_function_pass_misses(self):
+        paths = [
+            os.path.join(FIXTURES, "runtime", "clockutil.py"),
+            os.path.join(FIXTURES, "taint_caller.py"),
+        ]
+        plain = lint_tree(paths, taint=False)
+        assert plain.violations == []  # the per-function pass is blind
+        tainted = lint_tree(paths, taint=True)
+        rules = [v.rule for v in tainted.violations]
+        assert rules == ["SIM011"]
+        v = tainted.violations[0]
+        assert v.path.endswith("taint_caller.py")
+        assert "read_clock" in v.message and "SIM001" in v.message
+
+    def test_sim010_fixture_files(self):
+        bad = lint_tree([os.path.join(FIXTURES, "sim010_bad.py")])
+        assert "SIM010" in [v.rule for v in bad.violations]
+        good = lint_tree([os.path.join(FIXTURES, "sim010_good.py")])
+        assert good.violations == []
+
+
 class TestScope:
     def test_scope_classification(self):
         assert scope_of("src/repro/simcore/engine.py") == "sim"
@@ -240,3 +420,13 @@ class TestRepoIsClean:
         SIM violation has been fixed or explicitly waived inline."""
         violations = lint_paths([SRC_ROOT])
         assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_tree_is_clean_under_taint_and_waiver_hygiene(self):
+        """The stronger CI gate: the cross-module taint pass finds no
+        hidden primitive behind any sim-scope call, and no waiver has
+        gone stale."""
+        result = lint_tree([SRC_ROOT], taint=True)
+        assert result.clean, "\n".join(
+            [v.render() for v in result.violations]
+            + [w.render() for w in result.stale_waivers]
+        )
