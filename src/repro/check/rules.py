@@ -65,6 +65,10 @@ RULES: dict[str, str] = {
     "nondeterminism primitive (wall clock, unmanaged RNG, salted hash(), "
     "unordered-set iteration, blocking call); fix at the source or waive "
     "the call site — reported by the interprocedural taint pass",
+    "SIM012": "set stored in an attribute by one method and iterated in "
+    "another; the container membership carries the unordered taint across "
+    "methods, where sequential tracking loses it — iterate sorted(...) "
+    "or keep an ordered structure",
 }
 
 #: SIM001 targets (fully-qualified after import-alias resolution)
@@ -446,6 +450,129 @@ class _SimVisitor(ast.NodeVisitor):
         )
 
 
+#: iteration-fixing callables SIM012 shares with the sequential rule
+_ITER_CALLS = ("list", "tuple", "iter", "enumerate", "max", "min")
+
+
+class _ClassSetVisitor(ast.NodeVisitor):
+    """SIM012: container-membership taint across methods of one class.
+
+    The sequential tracker in :class:`_SimVisitor` follows ``self.x``
+    by bare name in *textual* order, so a set bound in ``reset()`` and
+    iterated in an ``order()`` method defined above it slips through.
+    This pass is class-aware and two-phase: first collect every
+    attribute a class ever binds to a set (skipping attributes that are
+    *also* bound to non-set values — those the sequential tracker's
+    last-binding-wins rule handles more precisely), then flag any
+    iteration of such an attribute in a method other than a binding
+    one.  Sites the sequential rule already reports are deduped by the
+    caller, so SIM012 is exactly the cross-method complement of SIM004.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.violations: list[Violation] = []
+
+    @staticmethod
+    def _self_name(method) -> str | None:
+        args = method.args.posonlyargs + method.args.args
+        return args[0].arg if args else None
+
+    @staticmethod
+    def _is_set_value(value: ast.expr | None, annotation: ast.expr | None) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        ):
+            return True
+        if annotation is not None:
+            ann = ast.unparse(annotation)
+            return ann.split("[")[0] in (
+                "set", "Set", "frozenset", "FrozenSet", "AbstractSet",
+                "MutableSet",
+            )
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = [
+            m for m in node.body
+            if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        #: attr -> method names that bind it to a set
+        set_attrs: dict[str, set[str]] = {}
+        non_set: set[str] = set()
+        for method in methods:
+            self_name = self._self_name(method)
+            if self_name is None:
+                continue
+            for sub in ast.walk(method):
+                if isinstance(sub, ast.Assign):
+                    targets, value, ann = sub.targets, sub.value, None
+                elif isinstance(sub, ast.AnnAssign):
+                    targets, value, ann = [sub.target], sub.value, sub.annotation
+                else:
+                    continue
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name
+                    ):
+                        continue
+                    if self._is_set_value(value, ann):
+                        set_attrs.setdefault(target.attr, set()).add(method.name)
+                    elif value is not None:
+                        non_set.add(target.attr)
+        flaggable = {
+            attr: binders for attr, binders in set_attrs.items()
+            if attr not in non_set
+        }
+        for method in methods:
+            self_name = self._self_name(method)
+            if self_name is None or not flaggable:
+                continue
+            for sub in ast.walk(method):
+                for it in self._iterated(sub):
+                    if not (
+                        isinstance(it, ast.Attribute)
+                        and isinstance(it.value, ast.Name)
+                        and it.value.id == self_name
+                    ):
+                        continue
+                    binders = flaggable.get(it.attr)
+                    if binders and binders != {method.name}:
+                        self.violations.append(
+                            Violation(
+                                "SIM012", self.path,
+                                it.lineno, it.col_offset,
+                                RULES["SIM012"]
+                                + f" (self.{it.attr} is bound in "
+                                f"{', '.join(sorted(binders))}())",
+                            )
+                        )
+        self.generic_visit(node)  # nested classes
+
+    @staticmethod
+    def _iterated(node: ast.AST) -> list[ast.expr]:
+        """Expressions ``node`` iterates in an order-fixing way."""
+        if isinstance(node, ast.For):
+            return [node.iter]
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return [gen.iter for gen in node.generators]
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ITER_CALLS
+            and node.args
+        ):
+            return [node.args[0]]
+        return []
+
+
 def collect_violations(
     tree: ast.AST,
     path: str,
@@ -462,4 +589,21 @@ def collect_violations(
     active = set(rules) if rules is not None else set(RULES)
     visitor = _SimVisitor(path, scope, active)
     visitor.visit(tree)
-    return visitor.violations
+    violations = visitor.violations
+    if "SIM012" in active:
+        # SIM012 complements SIM004: anything the sequential tracker
+        # already sees at the same site stays a SIM004, regardless of
+        # which rules the caller selected
+        spots = {
+            (v.line, v.col) for v in violations if v.rule == "SIM004"
+        }
+        if "SIM004" not in active:
+            aux = _SimVisitor(path, scope, {"SIM004"})
+            aux.visit(tree)
+            spots = {(v.line, v.col) for v in aux.violations}
+        cls_visitor = _ClassSetVisitor(path)
+        cls_visitor.visit(tree)
+        violations.extend(
+            v for v in cls_visitor.violations if (v.line, v.col) not in spots
+        )
+    return violations

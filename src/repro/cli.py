@@ -188,6 +188,57 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import InvariantConfig, replay_case, run_campaign
+    from .fuzz.campaign import render_violations
+
+    if args.replay:
+        report, expected, scenario = replay_case(
+            args.replay, original=args.original
+        )
+        which = "original" if args.original else "shrunk"
+        print(f"replayed {which} scenario "
+              f"({scenario.n_nodes} nodes, {len(scenario.faults)} faults, "
+              f"workload {scenario.workload.kind})")
+        print(f"expected violations: {', '.join(expected) or '(none)'}")
+        print("observed:")
+        print(render_violations(report.violations))
+        if set(expected) <= set(report.violated):
+            print("reproduced")
+            return 0
+        print("NOT reproduced")
+        return 2
+
+    config = InvariantConfig(determinism_every=args.determinism_every)
+    sanitizer = None
+    if args.races:
+        from .check.races import RaceSanitizer
+
+        sanitizer = RaceSanitizer()
+    result = run_campaign(
+        runs=args.runs,
+        seed=args.seed,
+        corpus_dir=args.corpus_dir or None,
+        time_budget=args.time_budget,
+        config=config,
+        sanitizer=sanitizer,
+    )
+    print(result.render())
+    for path in result.case_paths:
+        print(f"wrote {path}")
+    rc = 0
+    if sanitizer is not None:
+        sanitizer.finish()
+        if sanitizer.reports:
+            print(f"\n{len(sanitizer.reports)} same-timestamp race(s):")
+            for rep in sanitizer.reports:
+                print(rep.describe())
+            rc = 1
+        else:
+            print("\nrace sanitizer: clean")
+    return 1 if result.cases else rc
+
+
 def cmd_resilience(args: argparse.Namespace) -> int:
     sweep = resilience_sweep(
         fail_fractions=args.fractions,
@@ -359,6 +410,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny fast run (CI artifact smoke test)")
     p.set_defaults(func=cmd_membership)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="scenario fuzzer: seeded campaigns over random topologies/"
+        "faults/workloads, six resilience invariants, autopilot "
+        "near-violation bias, minimized JSON repro cases",
+    )
+    p.add_argument("--runs", type=int, default=25,
+                   help="scenarios to execute")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (generator + autopilot)")
+    p.add_argument("--time-budget", type=float, default=0.0,
+                   help="stop after this many wall seconds (0 = no limit)")
+    p.add_argument("--corpus-dir", default="",
+                   help="write shrunk JSON case files here on violation")
+    p.add_argument("--replay", metavar="CASE",
+                   help="re-run one case file instead of a campaign "
+                   "(exit 0 iff the recorded violations reproduce)")
+    p.add_argument("--original", action="store_true",
+                   help="with --replay: run the original scenario, "
+                   "not the shrunk core")
+    p.add_argument("--determinism-every", type=int, default=4,
+                   help="double-run the fingerprint check every N-th "
+                   "scenario (0 = never)")
+    p.add_argument("--races", action="store_true",
+                   help="attach the race sanitizer across all runs")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "check",

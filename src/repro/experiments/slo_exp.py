@@ -19,11 +19,14 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from ..analysis import degradation_dashboard
+from ..analysis import count_strip, degradation_dashboard
 from ..cluster import ClusterSpec
 from ..faults import FaultSchedule, crash
-from ..obs import SLOReport, SpanRecorder, compute_slo
+from ..obs import SLOReport, SpanRecorder, bucket_times, compute_slo
 from .resilience import _build, _epoch, _fault_spec, _files
+
+#: detector transition kinds, in lifecycle order (strip row order)
+_DETECTOR_KINDS = ("suspect", "probation_expired", "reprobe_ok", "reprobe_fail")
 
 __all__ = ["SLOScenarioResult", "slo_scenario"]
 
@@ -40,19 +43,52 @@ class SLOScenarioResult:
     faulted: SLOReport
     #: the raw span timelines, keyed by run label (JSONL export)
     recorders: dict[str, SpanRecorder]
+    #: per-run ``(t, client_node, kind, server_id)`` failure-detector
+    #: transitions, keyed by run label; same grid as the SLO windows
+    detector_transitions: dict[str, list[tuple]]
 
     @property
     def labels(self) -> tuple[str, str]:
         return ("baseline", f"crash@{self.fault_time:g}s")
 
+    def _detector_strips(self) -> str:
+        """One count-strip per (run, transition kind) on the SLO window
+        grid, so suspicion onset / probation expiry / re-probe outcomes
+        line up column-for-column with the degraded-fraction rows."""
+        rep = self.baseline  # both reports share the absolute grid
+        rows: list[tuple[str, list[int]]] = []
+        for label in self.labels:
+            for kind in _DETECTOR_KINDS:
+                times = [
+                    t for t, _node, k, _sid
+                    in self.detector_transitions.get(label, [])
+                    if k == kind
+                ]
+                if not times:
+                    continue
+                rows.append((
+                    f"{label}/{kind}",
+                    bucket_times(times, rep.window, rep.t0, rep.t1),
+                ))
+        if not rows:
+            return ""
+        width = max(len(name) for name, _ in rows)
+        lines = ["-- failure-detector transitions per window "
+                 "(count; '+'=10+) --"]
+        for name, counts in rows:
+            lines.append(f"{name.ljust(width)} |{count_strip(counts)}|")
+        return "\n".join(lines)
+
     def render(self) -> str:
         base_label, fault_label = self.labels
-        return degradation_dashboard(
+        dash = degradation_dashboard(
             {base_label: self.baseline, fault_label: self.faulted},
             title=(f"SLO degradation dashboard ({self.n_nodes} nodes, "
                    f"{self.n_files} files/epoch/node, "
                    f"crash node {self.fault_node})"),
         )
+        strips = self._detector_strips()
+        return dash + ("\n\n" + strips if strips else "")
 
     def write_artifacts(self, outdir: str) -> dict[str, str]:
         """Write ``dashboard.txt`` + one span-timeline JSONL per run;
@@ -96,7 +132,7 @@ def slo_scenario(
     files = _files(n_files, file_size)
     fault_node = fault_node % n_nodes
 
-    def run(schedule: FaultSchedule | None) -> tuple[SpanRecorder, float, float]:
+    def run(schedule: FaultSchedule | None):
         rec = SpanRecorder()
         env, dep, _ = _build(spec, n_nodes, seed, spans=rec)
         _epoch(env, dep, n_nodes, files)  # warm the cache
@@ -105,11 +141,16 @@ def slo_scenario(
             dep.inject(schedule)
         _epoch(env, dep, n_nodes, files)
         t1 = env.now
+        transitions = sorted(
+            (t, node, kind, sid)
+            for node, cli in dep._clients.items()
+            for t, kind, sid in cli.detector.transitions
+        )
         dep.teardown()
-        return rec, t0, t1
+        return rec, t0, t1, transitions
 
-    rec_base, base_t0, base_t1 = run(None)
-    rec_fault, fault_t0, fault_t1 = run(
+    rec_base, base_t0, base_t1, trans_base = run(None)
+    rec_fault, fault_t0, fault_t1, trans_fault = run(
         FaultSchedule([crash(fault_time, fault_node)])
     )
 
@@ -127,7 +168,11 @@ def slo_scenario(
         baseline=compute_slo(rec_base, window, origin=origin, horizon=horizon),
         faulted=compute_slo(rec_fault, window, origin=origin, horizon=horizon),
         recorders={},
+        detector_transitions={},
     )
     base_label, fault_label = result.labels
     result.recorders = {base_label: rec_base, fault_label: rec_fault}
+    result.detector_transitions = {
+        base_label: trans_base, fault_label: trans_fault
+    }
     return result

@@ -58,6 +58,15 @@ class FailureDetector:
         #: ``(time, server_id)`` of every suspicion onset — detection
         #: latency comes from here in detector-only experiments
         self.suspicion_log: list[tuple[float, int]] = []
+        #: ``(time, kind, server_id)`` for every detector state change:
+        #: ``suspect`` (onset), ``probation_expired`` (server usable
+        #: again; logged on the first ``usable()`` query past the term),
+        #: ``reprobe_ok`` / ``reprobe_fail`` (half-open probe outcomes).
+        #: These land on the SLO window grid next to the membership
+        #: transitions, and the fuzzer's SLO invariant reads them.
+        self.transitions: list[tuple[float, str, int]] = []
+        #: has this probation episode's expiry been logged yet?
+        self._expiry_logged = [True] * n_servers
         #: optional membership hook: ``listener.on_suspect(sid)`` fires
         #: on every suspicion (onset *and* repeat offences), which is how
         #: first-hand timeout evidence enters a MembershipView
@@ -72,6 +81,8 @@ class FailureDetector:
         """An RPC to ``server_id`` completed: full pardon."""
         if self._until[server_id] > 0.0 and self._strikes[server_id] >= self.suspect_after:
             self.n_reprobes += 1
+            self._note_expiry(server_id)
+            self.transitions.append((self.env.now, "reprobe_ok", server_id))
             if self.metrics is not None:
                 self.metrics.counter("reprobes").incr()
                 self.metrics.tally("blacklist_dwell_seconds").add(
@@ -79,6 +90,7 @@ class FailureDetector:
                 )
         self._strikes[server_id] = 0
         self._until[server_id] = 0.0
+        self._expiry_logged[server_id] = True
 
     def record_failure(self, server_id: int) -> None:
         """An RPC to ``server_id`` timed out or errored."""
@@ -92,14 +104,35 @@ class FailureDetector:
             self.n_suspicions += 1
             self._since[server_id] = self.env.now
             self.suspicion_log.append((self.env.now, server_id))
+            self.transitions.append((self.env.now, "suspect", server_id))
             if self.metrics is not None:
                 self.metrics.counter("suspicions").incr()
+        elif self.env.now >= self._until[server_id]:
+            # a strike past the bar normally lands only after probation
+            # let a request through: a failed half-open re-probe.  (A
+            # strike during an *active* term — the caller bypassing
+            # ``usable()`` — is neither an expiry nor a probe outcome.)
+            self._note_expiry(server_id)
+            self.transitions.append((self.env.now, "reprobe_fail", server_id))
+        self._expiry_logged[server_id] = False
         term = min(
             self.probation * self.probation_growth**over, self.probation_cap
         )
         self._until[server_id] = self.env.now + term
         if self.listener is not None:
             self.listener.on_suspect(server_id)
+
+    def _note_expiry(self, server_id: int) -> None:
+        """Log the probation-expiry transition once per episode, stamped
+        at the term's end (not at the observing query's time).  A pardon
+        arriving mid-term clamps the stamp to *now* — the episode ended
+        early, and the log must stay time-ordered."""
+        if not self._expiry_logged[server_id]:
+            self._expiry_logged[server_id] = True
+            self.transitions.append(
+                (min(self._until[server_id], self.env.now),
+                 "probation_expired", server_id)
+            )
 
     # -- queries ----------------------------------------------------------
     def usable(self, server_id: int) -> bool:
@@ -110,7 +143,10 @@ class FailureDetector:
         """
         if self._strikes[server_id] < self.suspect_after:
             return True
-        return self.env.now >= self._until[server_id]
+        if self.env.now >= self._until[server_id]:
+            self._note_expiry(server_id)
+            return True
+        return False
 
     def strikes(self, server_id: int) -> int:
         return self._strikes[server_id]

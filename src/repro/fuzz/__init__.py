@@ -1,0 +1,61 @@
+"""Scenario fuzzer: seeded generator, invariant autopilot, shrinker.
+
+The standing adversary for the HVAC reproduction (ROADMAP: "Scenario
+fuzzer + adversarial workload autopilot").  ``repro fuzz`` samples
+cluster topologies, fault schedules (incl. correlated rack bursts and
+gray failures), dataset skews and pathological workloads; executes each
+through the real deployment with spans + fingerprinting attached;
+checks six resilience invariants; biases future sampling toward
+near-violations; and shrinks every failure to a minimal JSON repro
+case.
+"""
+
+from .autopilot import Autopilot, CorpusEntry
+from .campaign import (
+    CampaignResult,
+    load_case,
+    replay_case,
+    run_campaign,
+    write_case,
+)
+from .executor import EpochResult, Observation, execute
+from .invariants import (
+    INVARIANTS,
+    InvariantConfig,
+    InvariantReport,
+    InvariantViolation,
+    check_observation,
+)
+from .scenario import (
+    Scenario,
+    ScenarioGenerator,
+    Workload,
+    WORKLOAD_KINDS,
+    scenario_digest,
+)
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "Autopilot",
+    "CampaignResult",
+    "CorpusEntry",
+    "EpochResult",
+    "INVARIANTS",
+    "InvariantConfig",
+    "InvariantReport",
+    "InvariantViolation",
+    "Observation",
+    "Scenario",
+    "ScenarioGenerator",
+    "ShrinkResult",
+    "WORKLOAD_KINDS",
+    "Workload",
+    "check_observation",
+    "execute",
+    "load_case",
+    "replay_case",
+    "run_campaign",
+    "scenario_digest",
+    "shrink",
+    "write_case",
+]

@@ -1,0 +1,361 @@
+"""Scenario executor: one :class:`Scenario` → one :class:`Observation`.
+
+The run phases mirror the hand-written resilience experiments so fuzz
+findings transfer to them directly:
+
+1. **warm** — every client reads the full dataset once; its duration
+   calibrates the epoch deadline.
+2. **inject** — the scenario's fault schedule starts.
+3. **measured epochs** — the workload plans run under a deadline
+   watchdog; clients that miss it are recorded (and interrupted) as
+   hung, never waited on forever.
+4. **heal + settle** — run past the last transient fault's heal time,
+   force-heal any permanent faults, then wait out every detector
+   probation (and a few gossip rounds when membership is on).
+5. **recovery epoch** — the same workload once more; its SLO windows
+   are what the ``slo_recovery`` invariant inspects.
+6. **convergence** — with membership on, wait (bounded) for repair to
+   drain and snapshot every client view against ground truth.
+
+Every run gets a :class:`~repro.simcore.EventTrace` (the determinism
+fingerprint), a :class:`~repro.obs.SpanRecorder` (per-read byte/retry
+accounting), and per-client invariant counters registered as
+race-sanitizer cells (``fuzz.reads.n<node>``) so ``repro fuzz --races``
+extends the ``--races`` guarantee over fuzzed interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import Allocation
+from ..core import HVACDeployment
+from ..obs import SLOReport, SpanRecorder, compute_slo
+from ..simcore import (
+    AllOf,
+    AnyOf,
+    Environment,
+    EventTrace,
+    Interrupt,
+    RandomStreams,
+)
+from ..storage import GPFS
+from .invariants import InvariantConfig
+from .scenario import Scenario
+
+__all__ = ["EpochResult", "Observation", "execute"]
+
+#: metric counters snapshotted (post-fault deltas) into every observation
+_COUNTERS = (
+    "client_hits",
+    "client_misses",
+    "client_retries",
+    "client_retry_aborts",
+    "client_rpc_timeouts",
+    "client_rpc_failures",
+    "client_pfs_fallback",
+    "client_degraded_reads",
+)
+
+
+@dataclass
+class EpochResult:
+    """One deadline-supervised workload epoch."""
+
+    label: str
+    duration: float
+    deadline: float
+    hung_clients: tuple[int, ...] = ()
+
+    @property
+    def hung(self) -> bool:
+        return bool(self.hung_clients)
+
+
+@dataclass
+class Observation:
+    """Everything the invariant checker needs from one run."""
+
+    scenario: Scenario
+    warm_duration: float = 0.0
+    epochs: list[EpochResult] = field(default_factory=list)
+    aborted: bool = False
+    t_fault: float = 0.0
+    t_heal: float = 0.0
+    t_settled: float = 0.0
+    t_converged: float | None = None
+    t_end: float = 0.0
+    allowed_strikes: int = 0
+    reads_planned: int = 0
+    spans: SpanRecorder = field(default_factory=SpanRecorder)
+    counters: dict[str, int] = field(default_factory=dict)
+    #: merged ``(t, owner_client, kind, server_id)`` detector transitions
+    detector_transitions: list[tuple] = field(default_factory=list)
+    #: merged ``(t, owner_client, sid, old, new, inc, why)`` view log
+    membership_transitions: list[tuple] = field(default_factory=list)
+    #: human-readable view/ground-truth mismatches at the final snapshot
+    unconverged: list[str] = field(default_factory=list)
+    repair_in_flight: int = 0
+    fingerprint: str = ""
+    slo: SLOReport | None = None
+
+
+class _Board:
+    """Per-scenario invariant counters, one sanitizer cell per client.
+
+    Each cell has a single writer (that client's reader process); the
+    epoch watchdog reads them all at the deadline to name the hung
+    clients.  Registering them keeps ``--races`` meaningful over fuzz
+    runs: if a refactor ever lets two events touch one client's counter
+    at the same timestamp — or lets a read completion tie with the
+    deadline — the sanitizer reports it.
+    """
+
+    def __init__(self, env, clients):
+        self.env = env
+        self.started = {n: 0 for n in clients}
+        self.done = {n: 0 for n in clients}
+
+    def begin_read(self, node: int) -> None:
+        self.env.note_access(f"fuzz.reads.n{node}", "w")
+        self.started[node] += 1
+
+    def end_read(self, node: int) -> None:
+        self.env.note_access(f"fuzz.reads.n{node}", "w")
+        self.done[node] += 1
+
+    def unfinished(self, node: int, planned: int) -> bool:
+        self.env.note_access(f"fuzz.reads.n{node}", "r")
+        return self.done[node] < planned
+
+
+def _force_heal(dep: HVACDeployment, scenario: Scenario) -> None:
+    """Heal permanent faults the injector never will (duration=None)."""
+    for ev in scenario.faults:
+        if ev.duration is not None or ev.kind == "flap":
+            continue
+        node = ev.node
+        if node is None:
+            continue
+        if ev.kind == "crash":
+            if not all(s.alive for s in dep.servers_on_node(node)):
+                dep.recover_node(node)
+        elif ev.kind == "hang":
+            if any(s.hung for s in dep.servers_on_node(node)):
+                dep.unhang_node(node)
+        elif ev.kind == "degrade":
+            dep.restore_node(node)
+
+
+def _detector_transitions(dep, n_nodes: int) -> list[tuple]:
+    out = []
+    for node in range(n_nodes):
+        cli = dep._clients.get(node)
+        if cli is None:
+            continue
+        for t, kind, sid in cli.detector.transitions:
+            out.append((t, node, kind, sid))
+    out.sort()
+    return out
+
+
+def _membership_transitions(dep) -> list[tuple]:
+    out = []
+    for node in sorted(dep.views):
+        for t, sid, old, new, inc, why in dep.views[node].transitions:
+            out.append((t, node, sid, old, new, inc, why))
+    out.sort(key=lambda row: (row[0], row[1], row[2]))
+    return out
+
+
+def _view_mismatches(dep) -> list[str]:
+    """Client views vs ground truth, post-heal: every healthy server
+    must be routable again (the remap/repair story's end state)."""
+    out = []
+    for node in sorted(dep.views):
+        view = dep.views[node]
+        for server in dep.servers:
+            healthy = server.alive and not server.hung
+            if healthy and not view.routable(server.server_id):
+                out.append(
+                    f"client {node} still routes around healthy server "
+                    f"{server.server_id} (state "
+                    f"{view.state_of(server.server_id)})"
+                )
+    return out
+
+
+def execute(
+    scenario: Scenario,
+    config: InvariantConfig | None = None,
+    trace: EventTrace | None = None,
+    sanitizer=None,
+) -> Observation:
+    """Run one scenario end to end; never raises on scenario behavior
+    (hung epochs are recorded and interrupted, not waited out)."""
+    config = config or InvariantConfig()
+    spec = scenario.spec()
+    n_nodes = scenario.n_nodes
+
+    env = Environment()
+    if trace is None:
+        trace = EventTrace()
+    env.attach_trace(trace)
+    if sanitizer is not None:
+        env.attach_sanitizer(sanitizer)
+
+    alloc = Allocation(
+        env, spec, n_nodes=n_nodes,
+        rand=RandomStreams(scenario.seed).child("cluster"),
+    )
+    pfs = GPFS(env, spec.pfs, n_nodes, spec.network.nic_bandwidth)
+    spans = SpanRecorder()
+    dep = HVACDeployment(alloc, pfs, seed=scenario.seed, spans=spans)
+
+    files = scenario.files()
+    if dep.repair is not None:
+        dep.repair.attach_manifest(files)
+
+    obs = Observation(
+        scenario=scenario,
+        spans=spans,
+        allowed_strikes=spec.hvac.rpc_max_retries,
+    )
+    plans = scenario.plans()
+    obs.reads_planned = scenario.epochs * sum(len(p) for p in plans.values())
+    wl = scenario.workload
+    straggler = wl.clients[-1] if wl.kind == "straggler" else None
+    board = _Board(env, wl.clients)
+
+    def reader(node, plan, warmup=False):
+        cli = dep.client(node)
+        delay = wl.straggler_delay if (not warmup and node == straggler) else 0.0
+        think = wl.think if (not warmup and node == straggler) else 0.0
+        try:
+            if delay > 0.0:
+                yield env.timeout(delay)
+            for path, size in plan:
+                if not warmup:
+                    board.begin_read(node)
+                yield from cli.read_file(path, size, node)
+                if not warmup:
+                    board.end_read(node)
+                if think > 0.0:
+                    yield env.timeout(think)
+        except Interrupt:
+            return  # deadline watchdog gave up on this epoch
+
+    def warm_epoch() -> float:
+        t0 = env.now
+        procs = [
+            env.process(reader(n, files, warmup=True), name=f"fuzz.warm.n{n}")
+            for n in wl.clients
+        ]
+
+        def wait():
+            yield AllOf(env, procs)
+
+        env.run(env.process(wait(), name="fuzz.warm"))
+        return env.now - t0
+
+    def epoch(label: str, deadline: float) -> EpochResult:
+        t0 = env.now
+        done_before = dict(board.done)
+        procs = {
+            n: env.process(reader(n, plans[n]), name=f"fuzz.{label}.n{n}")
+            for n in wl.clients
+        }
+        all_done = AllOf(env, list(procs.values()))
+        overdue = env.timeout(deadline)
+        hung: list[int] = []
+
+        def watchdog():
+            yield AnyOf(env, [all_done, overdue])
+            for n in wl.clients:
+                planned = done_before[n] + len(plans[n])
+                if board.unfinished(n, planned):
+                    hung.append(n)
+
+        env.run(env.process(watchdog(), name=f"fuzz.{label}.watchdog"))
+        if hung:
+            for n in wl.clients:
+                if procs[n].is_alive:
+                    procs[n].interrupt("epoch deadline")
+            alive = [p for p in procs.values() if p.is_alive]
+            if alive:
+
+                def reap():
+                    yield AllOf(env, alive)
+
+                env.run(env.process(reap(), name=f"fuzz.{label}.reap"))
+        return EpochResult(label, env.now - t0, deadline, tuple(hung))
+
+    # 1: warm (fault-free, so it terminates without supervision)
+    obs.warm_duration = warm_epoch()
+    deadline = config.deadline_slack + config.deadline_factor * obs.warm_duration
+
+    # 2: inject
+    obs.t_fault = env.now
+    base_counts = {
+        name: dep.metrics.counter(f"hvac.{name}").value for name in _COUNTERS
+    }
+    dep.inject(scenario.schedule())
+
+    # 3: measured epochs
+    for i in range(scenario.epochs):
+        result = epoch(f"e{i}", deadline)
+        obs.epochs.append(result)
+        if result.hung:
+            obs.aborted = True
+            break
+
+    # 4: heal + settle
+    obs.t_heal = obs.t_fault + scenario.heal_horizon()
+    if not obs.aborted:
+        if obs.t_heal > env.now:
+            env.run(until=obs.t_heal)
+        _force_heal(dep, scenario)
+        settle = obs.t_heal + 2 * spec.hvac.probation_period
+        for node in sorted(dep._clients):
+            det = dep._clients[node].detector
+            settle = max(settle, max(det._until, default=0.0))
+        if scenario.membership:
+            settle += 3 * spec.hvac.gossip_interval + spec.hvac.suspect_to_dead
+        if settle > env.now:
+            env.run(until=settle + 1e-6)
+        obs.t_settled = env.now
+
+        # 5: recovery epoch
+        recovery = epoch("recovery", deadline)
+        obs.epochs.append(recovery)
+        if recovery.hung:
+            obs.aborted = True
+
+    # 6: convergence (membership stack only)
+    if not obs.aborted and dep.repair is not None:
+        conv_deadline = obs.t_settled + config.convergence_window
+        while dep.repair.in_flight > 0 and env.now < conv_deadline:
+            env.run(until=min(env.now + 1e-3, conv_deadline) + 1e-9)
+        if dep.repair.in_flight == 0:
+            obs.t_converged = env.now
+    if dep.repair is not None:
+        obs.repair_in_flight = dep.repair.in_flight
+    if scenario.membership and not obs.aborted:
+        obs.unconverged = _view_mismatches(dep)
+
+    obs.t_end = env.now
+    obs.counters = {
+        name: dep.metrics.counter(f"hvac.{name}").value - base_counts[name]
+        for name in _COUNTERS
+    }
+    obs.detector_transitions = _detector_transitions(dep, n_nodes)
+    obs.membership_transitions = _membership_transitions(dep)
+    dep.teardown()
+
+    if obs.t_end > obs.t_fault and not obs.aborted:
+        window = (obs.t_end - obs.t_fault) / config.windows
+        obs.slo = compute_slo(
+            spans, window, origin=obs.t_fault, horizon=obs.t_end
+        )
+    obs.fingerprint = trace.fingerprint
+    return obs

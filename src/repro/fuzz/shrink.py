@@ -1,0 +1,186 @@
+"""Minimizing repro shrinker: greedy delta-debugging over scenarios.
+
+Given a failing scenario and the invariant it broke, repeatedly try the
+smallest structural deletions —
+
+1. drop one fault at a time (to fixpoint),
+2. drop one reading client at a time (keeping at least one),
+3. drop tail files (halving first, then one at a time),
+4. collapse to a single measured epoch —
+
+re-running the executor + checker after each deletion and keeping the
+candidate only if the *same* invariant still fires.  Deletion order is
+fixed, so the same failing case always shrinks to the same core (the
+``repro fuzz`` determinism acceptance bar covers this).
+
+For ``determinism`` violations the shrunk scenario is additionally
+handed to the PR-2 divergence bisector
+(:func:`repro.check.divergence.find_first_divergence`), which pins the
+first divergent kernel event of the double run into the case file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .executor import execute
+from .invariants import InvariantConfig, InvariantReport
+from .scenario import Scenario, drop_client, drop_fault, scenario_digest
+
+__all__ = ["ShrinkResult", "shrink"]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimization outcome for one failing scenario."""
+
+    original: Scenario
+    shrunk: Scenario
+    #: the invariants that had to keep firing
+    target: tuple[str, ...]
+    #: final report of the shrunk scenario
+    report: InvariantReport
+    checks: int = 0
+    removed_faults: int = 0
+    removed_clients: int = 0
+    removed_files: int = 0
+    removed_epochs: int = 0
+    #: first divergent event (determinism failures only)
+    divergence: str | None = None
+
+    @property
+    def digest(self) -> str:
+        return scenario_digest(self.shrunk)
+
+    def summary(self) -> str:
+        return (
+            f"shrunk {len(self.original.faults)}->{len(self.shrunk.faults)} "
+            f"faults, {len(self.original.workload.clients)}->"
+            f"{len(self.shrunk.workload.clients)} clients, "
+            f"{self.original.n_files}->{self.shrunk.n_files} files "
+            f"in {self.checks} checks"
+        )
+
+
+def _check(scenario: Scenario, config: InvariantConfig) -> InvariantReport:
+    """One executor + checker round (with the double-run fingerprint,
+    so determinism failures keep reproducing while shrinking)."""
+    from ..simcore import EventTrace
+
+    obs = execute(scenario, config, trace=EventTrace())
+    second = execute(scenario, config, trace=EventTrace())
+    from .invariants import check_observation
+
+    return check_observation(
+        obs, config, second_fingerprint=second.fingerprint
+    )
+
+
+def shrink(
+    scenario: Scenario,
+    target: tuple[str, ...],
+    config: InvariantConfig | None = None,
+    check=None,
+) -> ShrinkResult:
+    """Minimize ``scenario`` while ``target`` invariants keep firing.
+
+    ``check`` (scenario -> InvariantReport) is injectable for tests;
+    the default runs the real executor twice per probe.
+    """
+    config = config or InvariantConfig()
+    if check is None:
+        def check(s: Scenario) -> InvariantReport:  # noqa: F811
+            return _check(s, config)
+
+    target = tuple(sorted(target))
+    budget = [config.max_shrink_checks]
+    last_report = [None]
+
+    def reproduces(candidate: Scenario) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            report = check(candidate)
+        except (ValueError, RuntimeError):
+            return False  # structurally invalid candidate: not a repro
+        if set(target) <= set(report.violated):
+            last_report[0] = report
+            return True
+        return False
+
+    result = ShrinkResult(
+        original=scenario, shrunk=scenario, target=target,
+        report=None,  # filled below
+    )
+    current = scenario
+
+    # 1: faults, one at a time, to fixpoint
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for i in range(len(current.faults)):
+            candidate = drop_fault(current, i)
+            if reproduces(candidate):
+                current = candidate
+                result.removed_faults += 1
+                changed = True
+                break
+
+    # 2: clients, one at a time, keeping at least one
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for node in current.workload.clients:
+            if len(current.workload.clients) <= 1:
+                break
+            candidate = drop_client(current, node)
+            if reproduces(candidate):
+                current = candidate
+                result.removed_clients += 1
+                changed = True
+                break
+
+    # 3: files — halve the tail while it reproduces, then linear steps
+    while current.n_files > 1 and budget[0] > 0:
+        half = replace(current, n_files=max(1, current.n_files // 2))
+        if reproduces(half):
+            result.removed_files += current.n_files - half.n_files
+            current = half
+        else:
+            break
+    changed = True
+    while changed and current.n_files > 1 and budget[0] > 0:
+        changed = False
+        candidate = replace(current, n_files=current.n_files - 1)
+        if reproduces(candidate):
+            current = candidate
+            result.removed_files += 1
+            changed = True
+
+    # 4: epochs
+    if current.epochs > 1 and budget[0] > 0:
+        candidate = replace(current, epochs=1)
+        if reproduces(candidate):
+            result.removed_epochs = current.epochs - 1
+            current = candidate
+
+    result.shrunk = current
+    result.checks = config.max_shrink_checks - budget[0]
+    result.report = last_report[0] if last_report[0] is not None else check(current)
+
+    if "determinism" in target:
+        result.divergence = _bisect_divergence(current, config)
+    return result
+
+
+def _bisect_divergence(scenario: Scenario, config: InvariantConfig) -> str | None:
+    """Reuse the PR-2 bisector to name the first divergent event of the
+    shrunk scenario's double run."""
+    from ..check.divergence import find_first_divergence
+
+    def run(trace) -> None:
+        execute(scenario, config, trace=trace)
+
+    report = find_first_divergence(run)
+    return report.describe() if report is not None else None

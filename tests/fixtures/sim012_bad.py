@@ -1,0 +1,15 @@
+"""SIM012 fixture: a set bound in one method, iterated in another.
+
+``order()`` textually precedes ``reset()``, so the sequential SIM004
+tracker never sees ``self._live`` holding a set when the comprehension
+runs — the unordered-container taint crosses the method boundary and
+only the class-level pass (SIM012) can follow it.
+"""
+
+
+class Tracker:
+    def order(self):
+        return [x for x in self._live]
+
+    def reset(self):
+        self._live = set()

@@ -1,0 +1,11 @@
+"""SIM012 fixture (clean): the same cross-method shape, but every
+iteration surface over the attribute-held set is sorted, so hash order
+never leaks into program behaviour."""
+
+
+class Tracker:
+    def order(self):
+        return [x for x in sorted(self._live)]
+
+    def reset(self):
+        self._live = set()

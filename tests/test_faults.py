@@ -157,6 +157,48 @@ class TestFailureDetector:
         # capped at probation * cap_factor, not 2**7
         assert det._until[0] <= env.now + 4.0 + 1e-9
 
+    def test_transitions_suspect_expiry_reprobe_ok(self):
+        env = Environment()
+        det = FailureDetector(env, 4, suspect_after=2, probation=1.0)
+        det.record_failure(2)
+        assert det.transitions == []  # one strike is not suspicion
+        det.record_failure(2)
+        assert det.transitions == [(0.0, "suspect", 2)]
+        env.run(env.timeout(1.5))
+        assert det.usable(2)  # lazy expiry logs the probation end
+        det.record_success(2)  # ...and the re-probe lands
+        assert [kind for _t, kind, _sid in det.transitions] == [
+            "suspect", "probation_expired", "reprobe_ok"
+        ]
+        # the expiry is stamped with the probation deadline, not the
+        # (later) instant the next request happened to look
+        assert det.transitions[1] == (1.0, "probation_expired", 2)
+
+    def test_transitions_failed_reprobe(self):
+        env = Environment()
+        det = FailureDetector(env, 4, suspect_after=2, probation=1.0)
+        det.record_failure(1)
+        det.record_failure(1)
+        env.run(env.timeout(1.2))
+        det.record_failure(1)  # the re-probe itself fails
+        kinds = [kind for _t, kind, _sid in det.transitions]
+        assert kinds == ["suspect", "probation_expired", "reprobe_fail"]
+        assert not det.usable(1)  # back on probation
+        # a strike while *still on probation* is not a re-probe outcome
+        det.record_failure(1)
+        assert [k for _t, k, _sid in det.transitions] == kinds
+
+    def test_transitions_time_ordered_per_server(self):
+        env = Environment()
+        det = FailureDetector(env, 4, suspect_after=1, probation=0.5)
+        det.record_failure(0)
+        env.run(env.timeout(0.7))
+        det.record_success(0)
+        det.record_failure(3)
+        for sid in (0, 3):
+            times = [t for t, _k, s in det.transitions if s == sid]
+            assert times == sorted(times)
+
 
 class TestInjector:
     def test_crash_applies_at_scheduled_time(self):

@@ -56,6 +56,13 @@ BAD_FIXTURES = {
         "def cost(env):\n"
         "    return env.now + stamp()\n"
     ),
+    "SIM012": (
+        "class Tracker:\n"
+        "    def order(self):\n"  # iterates before the binding method:
+        "        return [x for x in self._live]\n"  # SIM004 can't see it
+        "    def reset(self):\n"
+        "        self._live = set()\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -113,6 +120,13 @@ GOOD_FIXTURES = {
         "    return env.now\n\n"
         "def cost(env):\n"
         "    return clock(env) + 1.0\n"
+    ),
+    "SIM012": (
+        "class Tracker:\n"
+        "    def order(self):\n"
+        "        return sorted(self._live)\n"
+        "    def reset(self):\n"
+        "        self._live = set()\n"
     ),
 }
 
@@ -400,6 +414,15 @@ class TestCrossModuleTaint:
         bad = lint_tree([os.path.join(FIXTURES, "sim010_bad.py")])
         assert "SIM010" in [v.rule for v in bad.violations]
         good = lint_tree([os.path.join(FIXTURES, "sim010_good.py")])
+        assert good.violations == []
+
+    def test_sim012_fixture_files(self):
+        bad = lint_tree([os.path.join(FIXTURES, "sim012_bad.py")])
+        rules = [v.rule for v in bad.violations]
+        assert rules == ["SIM012"]
+        assert "self._live" in bad.violations[0].message
+        assert "reset" in bad.violations[0].message
+        good = lint_tree([os.path.join(FIXTURES, "sim012_good.py")])
         assert good.violations == []
 
 
