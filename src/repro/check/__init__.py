@@ -33,13 +33,22 @@ from .linter import (
     lint_tree,
     scope_of,
 )
+from .perf import (
+    PERF_RULES,
+    PerfLint,
+    perf_lint_files,
+    perf_lint_source,
+    perf_lint_tree,
+)
 from .races import RaceReport, RaceSanitizer
 from .rules import RULES, Violation
 
 __all__ = [
+    "PERF_RULES",
     "RULES",
     "Violation",
     "DivergenceReport",
+    "PerfLint",
     "RaceReport",
     "RaceSanitizer",
     "StaleWaiver",
@@ -50,9 +59,13 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "lint_tree",
+    "perf_lint_files",
+    "perf_lint_source",
+    "perf_lint_tree",
     "scope_of",
     "default_lint_roots",
     "run_lint",
+    "run_perf",
     "run_determinism",
     "run_races",
     "run_check",
@@ -84,6 +97,26 @@ def run_lint(
         status = ", ".join(bits) if bits else "clean"
         pass_name = "simlint+taint" if taint else "simlint"
         print(f"{pass_name}: {result.n_files} file(s) checked, {status}")
+    return 0 if result.clean else 1
+
+
+def run_perf(paths: list[str] | None = None, verbose: bool = True) -> int:
+    """Run the hot-path analyzer; print findings; return exit code."""
+    roots = paths or default_lint_roots()
+    result = perf_lint_tree(roots)
+    for v in result.violations:
+        print(v.render())
+    for w in result.stale_waivers:
+        print(w.render())
+    if verbose:
+        bits = []
+        if result.violations:
+            bits.append(f"{len(result.violations)} violation(s)")
+        if result.stale_waivers:
+            bits.append(f"{len(result.stale_waivers)} stale waiver(s)")
+        status = ", ".join(bits) if bits else "clean"
+        hot = "all functions hot" if result.all_hot else f"{result.n_hot} hot function(s)"
+        print(f"perf: {result.n_files} file(s) checked, {hot}, {status}")
     return 0 if result.clean else 1
 
 
@@ -193,14 +226,18 @@ def run_check(
     taint: bool = False,
     races: bool = False,
     races_output: str | None = None,
+    perf: bool = False,
 ) -> int:
-    """The full ``repro check``: lint (+taint), the double-run
-    comparison, and optionally the sim-time race sanitizer."""
+    """The full ``repro check``: lint (+taint), optionally the hot-path
+    analyzer (``--perf``), the double-run comparison, and optionally the
+    sim-time race sanitizer."""
     rc = 0
     if races_only:
         return run_races(seed=seed, output=races_output)
     if not determinism_only:
         rc |= run_lint(paths, taint=taint)
+        if perf:
+            rc |= run_perf(paths)
     if not lint_only:
         rc |= run_determinism(
             seed=seed,

@@ -16,7 +16,11 @@ and extracts, per function:
   method dispatch;
 * which of its *parameters* it iterates (directly or by passing them
   on), so a caller handing a ``set`` to an innocent-looking helper is
-  still caught.
+  still caught;
+* whether it *returns* an unordered container — directly, or verbatim
+  through another call (resolved by a fixpoint in :mod:`.taint`) — and
+  which of its call sites feed a ``for``/comprehension, so hash order
+  crossing a return boundary is flagged at the loop (SIM013).
 
 :mod:`.taint` runs the interprocedural fixpoint over this graph.
 Resolution is deliberately conservative: a call that cannot be resolved
@@ -63,6 +67,8 @@ class CallSite:
     target: str | None = None  #: resolved function key, if any
     set_args: tuple[int, ...] = ()  #: positional args that are known sets
     param_args: tuple[tuple[int, str], ...] = ()  #: (pos, caller param) pass-throughs
+    in_return: bool = False  #: the call is the caller's ``return`` expression
+    iterated: bool = False  #: the call's result feeds a ``for``/comprehension
 
 
 @dataclass
@@ -79,6 +85,8 @@ class FunctionInfo:
     sources: list[TaintSource] = field(default_factory=list)
     calls: list[CallSite] = field(default_factory=list)
     iterated_params: set[str] = field(default_factory=set)
+    returns_unordered: bool = False  #: returns a set expr (or, after the
+    #: fixpoint in :mod:`.taint`, passes through a callee that does)
 
 
 def module_name_for(path: str) -> str:
@@ -107,6 +115,9 @@ class _ModuleScanner(ast.NodeVisitor):
         self._set_names: set[str] = set()
         self._class_stack: list[str] = []
         self._func_stack: list[FunctionInfo] = []
+        self._nested_depth = 0  # inside a nested def: returns belong to it
+        self._return_calls: set[int] = set()  # id()s of return-position Calls
+        self._iterated_calls: set[int] = set()  # id()s of for/comp-iter Calls
 
     # -- import tracking (same alias model as rules._SimVisitor) ----------
     def visit_Import(self, node: ast.Import) -> None:
@@ -182,8 +193,11 @@ class _ModuleScanner(ast.NodeVisitor):
     def _visit_func(self, node) -> None:
         if self._func_stack:
             # Nested def: attribute its body to the enclosing function
-            # (conservative: a closure's primitives taint the parent).
+            # (conservative: a closure's primitives taint the parent) —
+            # except its returns, which do not leave the parent.
+            self._nested_depth += 1
             self.generic_visit(node)
+            self._nested_depth -= 1
             return
         qual = ".".join([*self._class_stack, node.name])
         params = [a.arg for a in (*node.args.posonlyargs, *node.args.args)]
@@ -223,6 +237,9 @@ class _ModuleScanner(ast.NodeVisitor):
             return  # explicitly sanctioned: not a taint source
         self._func_stack[-1].sources.append(TaintSource(rule, kind, node.lineno))
 
+    #: wrappers that pass their argument's order through to the loop
+    _ORDER_PRESERVING = ("list", "tuple", "iter", "enumerate", "reversed")
+
     def _check_iteration(self, iter_node: ast.expr) -> None:
         if not self._func_stack:
             return
@@ -231,9 +248,38 @@ class _ModuleScanner(ast.NodeVisitor):
             info.iterated_params.add(iter_node.id)
         elif self._is_set_expr(iter_node):
             self._source("SIM004", "unordered-set iteration", iter_node)
+        # SIM013: mark call results that feed the loop, unwrapping
+        # order-preserving shims (``sorted(f())`` neutralizes and is
+        # not unwrapped, so it never marks the inner call).
+        node = iter_node
+        while (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._ORDER_PRESERVING
+            and node.args
+        ):
+            node = node.args[0]
+        if isinstance(node, ast.Call):
+            self._iterated_calls.add(id(node))
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        # SIM013 bookkeeping: a function that returns a set expression
+        # hands unordered iteration order to every caller; one that
+        # returns another call's result verbatim may do so transitively
+        # (resolved by the fixpoint in :mod:`.taint`).  Nested defs keep
+        # their returns to themselves.
+        if self._func_stack and not self._nested_depth and node.value is not None:
+            info = self._func_stack[-1]
+            if self._waived(node.lineno, "SIM013"):
+                pass  # sanctioned producer: never a SIM013 source
+            elif self._is_set_expr(node.value):
+                info.returns_unordered = True
+            elif isinstance(node.value, ast.Call):
+                self._return_calls.add(id(node.value))
         self.generic_visit(node)
 
     def _visit_comp(self, node) -> None:
@@ -300,6 +346,8 @@ class _ModuleScanner(ast.NodeVisitor):
                 ref=ref,
                 set_args=set_args,
                 param_args=param_args,
+                in_return=id(node) in self._return_calls,
+                iterated=id(node) in self._iterated_calls,
             )
         )
 

@@ -42,6 +42,7 @@ __all__ = [
 ]
 
 _WAIVE_RE = re.compile(r"#\s*simlint:\s*waive\b([^#\n]*)")
+_CODE_RE = re.compile(r"SIM\d{3}")
 
 #: package path fragments whose code legitimately touches real clocks,
 #: threads, and files — SIM001/SIM007 do not apply there
@@ -57,17 +58,33 @@ def scope_of(path: str) -> str:
     return "runtime" if any(p in _RUNTIME_PARTS for p in parts) else "sim"
 
 
-def _waived_codes(line: str) -> set[str] | None:
+def _waived_codes(
+    line: str,
+    waive_re: re.Pattern = _WAIVE_RE,
+    code_re: re.Pattern = _CODE_RE,
+) -> set[str] | None:
     """Codes waived by ``line``'s comment: a set, ``{"*"}`` for all,
-    or ``None`` when there is no waiver."""
-    m = _WAIVE_RE.search(line)
+    or ``None`` when there is no waiver.
+
+    The regex pair parameterizes the waiver dialect so other passes
+    (``# perf: waive PERFxxx`` in :mod:`.perf`) reuse the same
+    machinery — including stale-waiver detection — without colliding
+    with simlint's namespace.
+    """
+    m = waive_re.search(line)
     if m is None:
         return None
-    codes = set(re.findall(r"SIM\d{3}", m.group(1)))
+    codes = set(code_re.findall(m.group(1)))
     return codes or {"*"}
 
 
-def _waiver_line_for(lines: list[str], line: int, rule: str) -> int | None:
+def _waiver_line_for(
+    lines: list[str],
+    line: int,
+    rule: str,
+    waive_re: re.Pattern = _WAIVE_RE,
+    code_re: re.Pattern = _CODE_RE,
+) -> int | None:
     """The line number whose waiver covers ``rule`` at ``line``
     (the flagged line itself, or a comment-only line above), or None."""
     for lineno in (line, line - 1):
@@ -76,7 +93,7 @@ def _waiver_line_for(lines: list[str], line: int, rule: str) -> int | None:
         text = lines[lineno - 1]
         if lineno != line and not text.lstrip().startswith("#"):
             continue
-        codes = _waived_codes(text)
+        codes = _waived_codes(text, waive_re, code_re)
         if codes is not None and ("*" in codes or rule in codes):
             return lineno
     return None
@@ -89,14 +106,17 @@ def waived_at(lines: list[str], line: int, rule: str) -> bool:
 
 
 def _apply_waivers(
-    violations: list[Violation], lines: list[str]
+    violations: list[Violation],
+    lines: list[str],
+    waive_re: re.Pattern = _WAIVE_RE,
+    code_re: re.Pattern = _CODE_RE,
 ) -> tuple[list[Violation], set[int]]:
     """Drop waived violations; also return the waiver lines that fired
     (so :func:`lint_tree` can flag the ones that did not)."""
     kept = []
     used: set[int] = set()
     for v in violations:
-        waiver_line = _waiver_line_for(lines, v.line, v.rule)
+        waiver_line = _waiver_line_for(lines, v.line, v.rule, waive_re, code_re)
         if waiver_line is None:
             kept.append(v)
         else:
@@ -104,7 +124,11 @@ def _apply_waivers(
     return kept, used
 
 
-def _waiver_comment_lines(source: str) -> dict[int, set[str]]:
+def _waiver_comment_lines(
+    source: str,
+    waive_re: re.Pattern = _WAIVE_RE,
+    code_re: re.Pattern = _CODE_RE,
+) -> dict[int, set[str]]:
     """Every *real* comment carrying a waiver: ``line -> codes``.
 
     Tokenize-based so waiver syntax quoted inside docstrings (this
@@ -115,12 +139,12 @@ def _waiver_comment_lines(source: str) -> dict[int, set[str]]:
     try:
         for tok in tokenize.generate_tokens(io.StringIO(source).readline):
             if tok.type == tokenize.COMMENT:
-                codes = _waived_codes(tok.string)
+                codes = _waived_codes(tok.string, waive_re, code_re)
                 if codes is not None:
                     out[tok.start[0]] = codes
     except (tokenize.TokenError, IndentationError, SyntaxError):
         for i, line in enumerate(source.splitlines(), start=1):
-            codes = _waived_codes(line)
+            codes = _waived_codes(line, waive_re, code_re)
             if codes is not None:
                 out[i] = codes
     return out
@@ -142,10 +166,14 @@ def lint_source(
     scope_ = scope or scope_of(path)
     tree = ast.parse(source, filename=path)
     violations = collect_violations(tree, path, scope=scope_, rules=active)
-    if "SIM011" in active:
+    if active & {"SIM011", "SIM013"}:
         from .taint import module_taint_violations
 
-        violations += module_taint_violations(source, path, scope_)
+        violations += [
+            v
+            for v in module_taint_violations(source, path, scope_)
+            if v.rule in active
+        ]
     violations, _ = _apply_waivers(violations, source.splitlines())
     violations.sort(key=lambda v: (v.line, v.col, v.rule))
     return violations
@@ -226,18 +254,21 @@ def lint_tree(
         per_file[path].extend(
             collect_violations(tree, path, scope=scope_of(path), rules=active)
         )
-    if "SIM011" in active:
+    if active & {"SIM011", "SIM013"}:
         if taint:
             from .taint import build_graph, taint_violations
 
             for v in taint_violations(build_graph(files)):
-                per_file[v.path].append(v)
+                if v.rule in active:
+                    per_file[v.path].append(v)
         else:
             from .taint import module_taint_violations
 
             for path, source in files:
                 per_file[path].extend(
-                    module_taint_violations(source, path, scope_of(path))
+                    v
+                    for v in module_taint_violations(source, path, scope_of(path))
+                    if v.rule in active
                 )
 
     violations: list[Violation] = []
@@ -253,7 +284,7 @@ def lint_tree(
         for lineno, codes in sorted(_waiver_comment_lines(source).items()):
             if lineno in used:
                 continue
-            if not taint and "SIM011" in codes:
+            if not taint and codes & {"SIM011", "SIM013"}:
                 continue  # only the cross-module pass can consume it
             stale.append(StaleWaiver(path, lineno, frozenset(codes)))
     return TreeLint(violations, stale, n_files=len(files))

@@ -22,6 +22,12 @@ SIM010    event scheduling (``.succeed()``/``.callbacks.append``/
 SIM011    call into a helper that *transitively* reaches one of the
           above primitives (emitted by the interprocedural taint pass
           with the full source→sink chain)
+SIM012    ``set`` stored in an attribute by one method, iterated in
+          another — taint carried by container membership across
+          method boundaries
+SIM013    iterating the result of a call whose callee (transitively)
+          *returns* an unordered container — taint carried by the
+          return value across function boundaries
 ========  ============================================================
 
 The rules are deliberately heuristic: they aim at the handful of
@@ -69,6 +75,11 @@ RULES: dict[str, str] = {
     "another; the container membership carries the unordered taint across "
     "methods, where sequential tracking loses it — iterate sorted(...) "
     "or keep an ordered structure",
+    "SIM013": "iterating the result of a call whose callee (transitively) "
+    "returns an unordered container; hash order crosses the return "
+    "boundary into the caller's loop, where local set tracking cannot "
+    "see it — return sorted(...) from the callee or sort at the call "
+    "site — reported by the interprocedural taint pass",
 }
 
 #: SIM001 targets (fully-qualified after import-alias resolution)

@@ -22,6 +22,13 @@ callee (transitively) iterates one of its parameters and the caller
 passes a known ``set`` in that position, the call site is flagged —
 the helper's ``for x in items:`` is innocent until someone hands it a
 set.
+
+The third flavor runs the same idea forwards through *returns*
+(**SIM013**): a function that returns a set expression — or forwards
+another unordered producer's result verbatim via ``return g(...)`` —
+is an unordered producer, and any sim-scope ``for``/comprehension
+iterating its call result replays in hash order.  The diagnostic lands
+at the loop's call site, where the fix (``sorted(...)``) belongs.
 """
 
 from __future__ import annotations
@@ -125,6 +132,26 @@ def propagate(graph: CallGraph) -> dict[str, dict[str, FunctionTaint]]:
                     ):
                         info.iterated_params.add(param)
                         changed = True
+
+    # -- unordered-return fixpoint (SIM013) --------------------------------
+    # ``return g(...)`` forwards g's container verbatim, so a function
+    # whose return expression is a call to an unordered producer is an
+    # unordered producer itself.
+    changed = True
+    while changed:
+        changed = False
+        for info in graph.functions.values():
+            if info.returns_unordered:
+                continue
+            for call in info.calls:
+                if (
+                    call.in_return
+                    and call.target is not None
+                    and graph.functions[call.target].returns_unordered
+                ):
+                    info.returns_unordered = True
+                    changed = True
+                    break
     return taints
 
 
@@ -140,13 +167,21 @@ _SET_ARG_MESSAGE = (
     "sorted(...) or an ordered container"
 )
 
+_RETURN_MESSAGE = (
+    "iterating the result of '{display}': {callee} (transitively) "
+    "returns an unordered container, so hash order crosses the return "
+    "boundary into this loop — return sorted(...) from the producer or "
+    "sort at this call site"
+)
+
 
 def taint_violations(
     graph: CallGraph,
     taints: dict[str, dict[str, FunctionTaint]] | None = None,
 ) -> list[Violation]:
     """SIM011 diagnostics at every sim-scope call site of a tainted
-    function (plus set-argument hand-offs into param-iterating helpers)."""
+    function (plus set-argument hand-offs into param-iterating helpers),
+    and SIM013 at loops iterating an unordered producer's return."""
     if taints is None:
         taints = propagate(graph)
     out: list[Violation] = []
@@ -158,6 +193,22 @@ def taint_violations(
             if call.target is None:
                 continue
             callee = graph.functions[call.target]
+            if call.iterated and callee.returns_unordered:
+                key = (info.path, call.line, call.col, "SIM013")
+                if key not in seen:
+                    seen.add(key)
+                    out.append(
+                        Violation(
+                            "SIM013",
+                            info.path,
+                            call.line,
+                            call.col,
+                            _RETURN_MESSAGE.format(
+                                display=call.display,
+                                callee=callee.qualname,
+                            ),
+                        )
+                    )
             for rule, t in sorted(taints.get(call.target, {}).items()):
                 key = (info.path, call.line, call.col, rule)
                 if key in seen:

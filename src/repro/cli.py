@@ -185,6 +185,19 @@ def cmd_check(args: argparse.Namespace) -> int:
         taint=args.taint,
         races=args.races,
         races_output=args.races_output,
+        perf=args.perf,
+    )
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_bench_cli
+
+    return run_bench_cli(
+        output=args.output,
+        compare=args.compare,
+        tolerance=args.tolerance,
+        repeats=args.repeats,
+        scenarios=args.scenarios or None,
     )
 
 
@@ -458,6 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "membership smoke scenario (two seeds)")
     p.add_argument("--races-only", action="store_true",
                    help="run only the race sanitizer")
+    p.add_argument("--perf", action="store_true",
+                   help="also run the hot-path performance analyzer "
+                   "(PERF101-PERF105 over the sim-hot set)")
     p.add_argument("--races-output", metavar="FILE",
                    help="write race reports (or a clean marker) to FILE")
     p.add_argument("--seed", type=int, default=0)
@@ -467,6 +483,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block", type=int, default=2048,
                    help="fingerprint checkpoint interval (bisection grain)")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "bench",
+        help="engine throughput on pinned scenarios (the perf "
+        "trajectory behind BENCH_engine.json)",
+    )
+    p.add_argument("--output", metavar="FILE",
+                   help="write the bench JSON (e.g. BENCH_engine.json)")
+    p.add_argument("--compare", metavar="FILE",
+                   help="compare against a checked-in bench JSON; exit "
+                   "nonzero on regression")
+    p.add_argument("--tolerance", type=float, default=0.6,
+                   help="allowed events/sec drop vs the baseline "
+                   "(0.6 = fail below 40%% of baseline)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing runs per scenario (best-of-N)")
+    p.add_argument("--scenarios", nargs="*", metavar="NAME",
+                   help="subset of pinned scenarios to run")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("train", help="one training simulation")
     p.add_argument("--system", default="hvac1",

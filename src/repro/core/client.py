@@ -50,6 +50,19 @@ from .server import HVACServer
 
 __all__ = ["HVACClient"]
 
+# Route-keyed label tables: every delivered read accounts its bytes, so
+# the counter / annotation names must not be rebuilt per call (PERF103).
+_ROUTE_BYTES = {
+    "local": "client_bytes_local",
+    "remote": "client_bytes_remote",
+    "pfs": "client_bytes_pfs",
+}
+_ROUTE_ANNOTATION = {
+    "local": "bytes:local",
+    "remote": "bytes:remote",
+    "pfs": "bytes:pfs",
+}
+
 
 class HVACClient(FileBackend):
     """One process's view of the HVAC cache (client side)."""
@@ -104,6 +117,8 @@ class HVACClient(FileBackend):
         #: optional :class:`~repro.membership.MembershipView` (see
         #: :meth:`attach_membership`); None = detector-only liveness
         self.view = None
+        # Topology sort key inputs, computed once (see _rack_pref).
+        self._my_rack = node_id // max(1, spec.network.rack_size)
 
     def attach_membership(self, view, remap: bool = True) -> None:
         """Join the gossip mesh: route by ``view``, share evidence.
@@ -119,12 +134,15 @@ class HVACClient(FileBackend):
         self.view = view
         self.detector.listener = view
         if remap:
+            # perf: waive PERF101 -- one wrapper per client, built at membership enablement
             self.placement = RemappedPlacement(self.placement, view)
 
+        # perf: waive PERF102 -- closures built once per client at membership enablement
         def provide():
             digest = view.digest()
             return digest, view.digest_bytes(digest)
 
+        # perf: waive PERF102 -- closures built once per client at membership enablement
         def absorb(digest, src):
             view.merge(digest, why="piggyback")
 
@@ -139,9 +157,9 @@ class HVACClient(FileBackend):
 
     def _route_bytes(self, root: Optional[int], route: str, nbytes: int) -> None:
         """Account ``nbytes`` delivered via ``route`` (local/remote/pfs)."""
-        self._incr(f"client_bytes_{route}", nbytes)
+        self._incr(_ROUTE_BYTES[route], nbytes)
         if self.spans is not None and root is not None:
-            self.spans.annotate(root, self.env.now, f"bytes:{route}", nbytes)
+            self.spans.annotate(root, self.env.now, _ROUTE_ANNOTATION[route], nbytes)
 
     # -- redirection -------------------------------------------------------
     def replica_order(self, path: str) -> list[int]:
@@ -153,18 +171,19 @@ class HVACClient(FileBackend):
         if self.spec.hvac.topology_aware and rack_of is not None:
             # Topology preference: replicas in this client's rack first
             # (keeps reads off oversubscribed rack uplinks); ties keep
-            # placement order so failover stays deterministic.
-            rack_size = max(1, self.spec.network.rack_size)
-            my_rack = self.node_id // rack_size
-            replicas = sorted(
-                replicas, key=lambda sid: 0 if rack_of(sid) == my_rack else 1
-            )
+            # placement order so failover stays deterministic.  The key
+            # is a bound method, not a per-call closure (PERF102).
+            replicas = sorted(replicas, key=self._rack_pref)
         elif self.spread_replica_reads:
             # Distribute read load across the replica set: stable per
             # (client, path) so an epoch's access pattern is deterministic.
             start = stable_hash64("hvac-spread", self.node_id, path) % len(replicas)
             replicas = replicas[start:] + replicas[:start]
         return replicas
+
+    def _rack_pref(self, sid: int) -> int:
+        """Sort key for :meth:`replica_order`: same-rack replicas first."""
+        return 0 if self.placement.rack_of(sid) == self._my_rack else 1
 
     def _candidates(self, path: str) -> list[int]:
         """Replica ids the detector currently allows requests to.
@@ -270,6 +289,10 @@ class HVACClient(FileBackend):
         """
         hvac = self.spec.hvac
         rec = self.spans
+        # Loop-invariant hoists: the retry walk re-reads these per
+        # attempt otherwise (PERF104).
+        env = self.env
+        detector = self.detector
         failures = 0
         retries = max_retries if max_retries is not None else hvac.rpc_max_retries
         for attempt in range(retries):
@@ -294,18 +317,18 @@ class HVACClient(FileBackend):
                 )
             except RPCTimeout:
                 failures += 1
-                self.detector.record_failure(sid)
+                detector.record_failure(sid)
                 self._incr("client_rpc_timeouts")
                 if rec is not None and parent is not None:
-                    rec.annotate(parent, self.env.now, "strike", sid)
+                    rec.annotate(parent, env.now, "strike", sid)
             except RPCError:
                 failures += 1
-                self.detector.record_failure(sid)
+                detector.record_failure(sid)
                 self._incr("client_rpc_failures")
                 if rec is not None and parent is not None:
-                    rec.annotate(parent, self.env.now, "strike", sid)
+                    rec.annotate(parent, env.now, "strike", sid)
             else:
-                self.detector.record_success(sid)
+                detector.record_success(sid)
                 route = "local" if server.node_id == self.node_id else "remote"
                 return hit, route, failures
             if attempt + 1 < retries:
@@ -316,7 +339,7 @@ class HVACClient(FileBackend):
                     self._incr("client_retry_aborts")
                     break
                 self._incr("client_retries")
-                yield self.env.timeout(self._backoff(attempt))
+                yield env.timeout(self._backoff(attempt))
         # Every approved replica failed (or none is approved): degrade
         # to a direct PFS read — slower, but the training run survives.
         self._incr("client_pfs_fallback")

@@ -150,6 +150,7 @@ def resilience_sweep(
     spec: ClusterSpec | None = None,
     seed: int = 0,
     spans=None,
+    trace=None,
 ) -> ResilienceResult:
     """Epoch-time degradation vs fraction of crashed cache servers.
 
@@ -168,11 +169,11 @@ def resilience_sweep(
     )
     files = _files(n_files, file_size)
 
-    env, _, pfs = _build(spec, n_nodes, seed)
+    env, _, pfs = _build(spec, n_nodes, seed, trace=trace)
     result.pfs_baseline = _pfs_epoch(env, pfs, n_nodes, files)
 
     for frac in result.fail_fractions:
-        env, dep, _ = _build(spec, n_nodes, seed, spans=spans)
+        env, dep, _ = _build(spec, n_nodes, seed, spans=spans, trace=trace)
         _epoch(env, dep, n_nodes, files)  # cold
         result.warm.append(_epoch(env, dep, n_nodes, files))
 

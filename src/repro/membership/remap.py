@@ -44,7 +44,7 @@ class RemappedPlacement(Placement):
         k = 1
         while len(out) < len(base_r) and k <= self.n_servers:
             cand = (base_r[0] + k) % self.n_servers
-            if cand not in out and self.view.placeable(cand):
+            if cand not in out and self.view.placeable(cand):  # perf: waive PERF105 -- out is replication-factor bounded (2-3 entries)
                 out.append(cand)
             k += 1
         return out or base_r

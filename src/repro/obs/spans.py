@@ -34,9 +34,12 @@ __all__ = ["Span", "SpanRecorder"]
 _BEGIN, _END, _ANNOTATE = "B", "E", "A"
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
-    """One assembled span (post-run view of the flat event list)."""
+    """One assembled span (post-run view of the flat event list).
+
+    Slotted: assembly materializes one record per span, and big SLO
+    runs assemble hundreds of thousands of them (PERF101)."""
 
     sid: int
     parent: Optional[int]

@@ -19,7 +19,7 @@ how a Mercury progress loop hands work to server threads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from ..cluster import Fabric
@@ -49,15 +49,6 @@ class BulkHandle:
     nbytes: int
 
 
-@dataclass
-class _Call:
-    op: str
-    payload: Any
-    payload_bytes: int
-    reply: Event = field(repr=False, default=None)  # type: ignore[assignment]
-    src: int = 0
-
-
 class RPCEndpoint:
     """One addressable RPC endpoint pinned to a node.
 
@@ -84,10 +75,30 @@ class RPCEndpoint:
         #: optional :class:`~repro.simcore.MetricScope` for call outcome
         #: counters and a call-latency histogram
         self.metrics = metrics
+        # Hoisted collectors: every successful call increments these, so
+        # the per-call name lookups must not rebuild dotted labels
+        # (PERF103).
+        if metrics is not None:
+            self._m_calls = metrics.counter("calls")
+            self._m_call_seconds = metrics.histogram("call_seconds")
+            self._m_status = {
+                "timeout": metrics.counter("timeouts"),
+                "error": metrics.counter("errors"),
+            }
+        else:
+            self._m_calls = None
+            self._m_call_seconds = None
+            self._m_status = None
         #: optional :class:`~repro.obs.SpanRecorder`; when set, every
         #: outbound call records an ``rpc.<op>`` span under the caller's
         #: parent span
         self.spans = spans
+        # Per-op string memos (span names, process names): ops are a
+        # small fixed vocabulary, calls are per-event — build each
+        # label once, not once per call (PERF103).
+        self._span_names: dict[str, str] = {}
+        self._serve_names: dict[str, str] = {}
+        self._handler_names: dict[str, str] = {}
         #: optional membership piggyback hooks.  ``digest_provider()``
         #: returns ``(digest, extra_bytes)`` attached to every outbound
         #: request and every reply this endpoint sends;
@@ -139,6 +150,26 @@ class RPCEndpoint:
     def unhang(self) -> None:
         self._hung = False
 
+    # -- label memos -----------------------------------------------------
+    def _span_name(self, op: str) -> str:
+        name = self._span_names.get(op)
+        if name is None:
+            name = self._span_names[op] = f"rpc.{op}"
+        return name
+
+    def _serve_name(self, op: str) -> str:
+        """Process name for serving ``op`` here (memoized per op)."""
+        name = self._serve_names.get(op)
+        if name is None:
+            name = self._serve_names[op] = f"{self.name}.{op}"
+        return name
+
+    def _handler_name(self, op: str) -> str:
+        name = self._handler_names.get(op)
+        if name is None:
+            name = self._handler_names[op] = f"{self.name}.{op}.h"
+        return name
+
     # -- client side -----------------------------------------------------
     def call(
         self,
@@ -167,7 +198,8 @@ class RPCEndpoint:
         t0 = self.env.now
         if rec is not None:
             sid = rec.begin(
-                f"rpc.{op}", t0, span, src=self.node_id, dst=target.node_id
+                self._span_name(op), t0, span,
+                src=self.node_id, dst=target.node_id,
             )
         try:
             value = yield from self._call(
@@ -175,14 +207,14 @@ class RPCEndpoint:
             )
         except RPCError as err:
             status = "timeout" if isinstance(err, RPCTimeout) else "error"
-            if self.metrics is not None:
-                self.metrics.counter(f"{status}s").incr()
+            if self._m_status is not None:
+                self._m_status[status].incr()
             if rec is not None:
                 rec.end(sid, self.env.now, status=status)
             raise
-        if self.metrics is not None:
-            self.metrics.counter("calls").incr()
-            self.metrics.histogram("call_seconds").add(self.env.now - t0)
+        if self._m_calls is not None:
+            self._m_calls.incr()
+            self._m_call_seconds.add(self.env.now - t0)
         if rec is not None:
             rec.end(sid, self.env.now)
         return value
@@ -226,7 +258,7 @@ class RPCEndpoint:
             target._serve(
                 op, payload, self.node_id, response_bytes, done, piggyback=piggyback
             ),
-            name=f"{target.name}.{op}",
+            name=target._serve_name(op),
         )
         if timeout is None:
             outcome = yield done
@@ -268,7 +300,7 @@ class RPCEndpoint:
             return
         try:
             value = yield self.env.process(
-                handler(payload, src), name=f"{self.name}.{op}.h"
+                handler(payload, src), name=self._handler_name(op)
             )
         except Exception as err:  # noqa: BLE001 — relayed to caller
             done.succeed((False, err, None))

@@ -13,6 +13,7 @@ from .engine import (
     Timeout,
 )
 from .monitor import Counter, Histogram, MetricRegistry, MetricScope, Series, Tally
+from .profile import ComponentProfile, SimProfiler
 from .rand import RandomStreams, stable_hash64
 from .resources import Container, PriorityResource, Resource
 from .stores import FilterStore, PriorityStore, Store, StoreFull
@@ -21,6 +22,7 @@ from .trace import EventRecord, EventTrace, event_label
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ComponentProfile",
     "Condition",
     "Container",
     "Counter",
@@ -40,6 +42,7 @@ __all__ = [
     "RandomStreams",
     "Resource",
     "Series",
+    "SimProfiler",
     "SimulationError",
     "stable_hash64",
     "StopProcess",

@@ -22,8 +22,8 @@ Semantics
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .trace import event_label
@@ -388,13 +388,25 @@ class Condition(Event):
                     withdraw()
 
 
+def _all_done(events: list, count: int) -> bool:
+    """AllOf evaluator, hoisted to module level: conditions are built on
+    the RPC fast path (``done | expiry``), so per-instance lambdas are a
+    per-event closure allocation (PERF102)."""
+    return count >= len(events)
+
+
+def _any_done(events: list, count: int) -> bool:
+    """AnyOf evaluator, hoisted to module level (see :func:`_all_done`)."""
+    return count >= 1
+
+
 class AllOf(Condition):
     """Triggers once *all* sub-events have triggered."""
 
     __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env, lambda events, count: count >= len(events), events)
+        super().__init__(env, _all_done, events)
 
 
 class AnyOf(Condition):
@@ -403,7 +415,7 @@ class AnyOf(Condition):
     __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env, lambda events, count: count >= 1, events)
+        super().__init__(env, _any_done, events)
 
 
 class Environment:
@@ -414,10 +426,20 @@ class Environment:
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = itertools.count()
         self._active_proc: Optional[Process] = None
-        # Opt-in event-stream fingerprinting (see simcore/trace.py).
-        self._trace = None
-        # Opt-in sim-time race sanitizer (see repro/check/races.py).
-        self._sanitizer = None
+        # Opt-in observers, consolidated behind one `_observed` flag so
+        # the disabled fast path pays a single attribute test per event
+        # and never constructs a label (zero-allocation when detached).
+        self._trace = None  # event-stream fingerprinting (simcore/trace.py)
+        self._sanitizer = None  # sim-time race sanitizer (check/races.py)
+        self._profiler = None  # per-component attribution (simcore/profile.py)
+        self._observed = False
+
+    def _update_observed(self) -> None:
+        self._observed = (
+            self._trace is not None
+            or self._sanitizer is not None
+            or self._profiler is not None
+        )
 
     # -- tracing -------------------------------------------------------
     @property
@@ -428,9 +450,11 @@ class Environment:
     def attach_trace(self, trace) -> None:
         """Fingerprint every fired event into ``trace`` from now on."""
         self._trace = trace
+        self._update_observed()
 
     def detach_trace(self) -> None:
         self._trace = None
+        self._update_observed()
 
     # -- race sanitizing ----------------------------------------------
     @property
@@ -445,9 +469,31 @@ class Environment:
         RNG, so the event-stream fingerprint is unchanged.
         """
         self._sanitizer = sanitizer
+        self._update_observed()
 
     def detach_sanitizer(self) -> None:
         self._sanitizer = None
+        self._update_observed()
+
+    # -- profiling -----------------------------------------------------
+    @property
+    def profiler(self):
+        """The attached :class:`~repro.simcore.profile.SimProfiler`, if any."""
+        return self._profiler
+
+    def attach_profiler(self, profiler) -> None:
+        """Attribute every fired event to a component from now on.
+
+        Like the sanitizer, the profiler observes only (kernel counters
+        and simulated time) — the event-stream fingerprint is unchanged
+        and its attribution is same-seed deterministic.
+        """
+        self._profiler = profiler
+        self._update_observed()
+
+    def detach_profiler(self) -> None:
+        self._profiler = None
+        self._update_observed()
 
     def note_access(self, cell: str, mode: str, tag=None) -> None:
         """Declare a read (``"r"``) or write (``"w"``) of a registered
@@ -491,11 +537,15 @@ class Environment:
     # -- scheduling / stepping ----------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         seq = next(self._seq)
-        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
-        if self._sanitizer is not None:
-            # Same-timestamp causality: a zero-delay child's order after
-            # its scheduler is program-defined, not insertion-accidental.
-            self._sanitizer.note_schedule(seq, delay)
+        heappush(self._queue, (self._now + delay, priority, seq, event))
+        if self._observed:
+            if self._sanitizer is not None:
+                # Same-timestamp causality: a zero-delay child's order
+                # after its scheduler is program-defined, not
+                # insertion-accidental.
+                self._sanitizer.note_schedule(seq, delay)
+            if self._profiler is not None:
+                self._profiler.note_schedule(seq, delay)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue empty."""
@@ -504,23 +554,29 @@ class Environment:
     def step(self) -> None:
         """Process the next scheduled event."""
         try:
-            self._now, priority, seq, event = heapq.heappop(self._queue)
+            self._now, priority, seq, event = heappop(self._queue)
         except IndexError:
             raise SimulationError("No scheduled events") from None
 
-        if self._trace is not None or self._sanitizer is not None:
+        observed = self._observed
+        if observed:
             label = event_label(event)
             if self._trace is not None:
                 self._trace.record(self._now, priority, seq, label)
             if self._sanitizer is not None:
                 self._sanitizer.begin_event(self._now, priority, seq, label)
+            if self._profiler is not None:
+                self._profiler.begin_event(self._now, priority, seq, label)
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
 
-        if self._sanitizer is not None:
-            self._sanitizer.end_event()
+        if observed:
+            if self._sanitizer is not None:
+                self._sanitizer.end_event()
+            if self._profiler is not None:
+                self._profiler.end_event(len(callbacks))
 
         if not event._ok and not event._defused:
             # Unhandled failure: crash the simulation loudly.
@@ -549,11 +605,15 @@ class Environment:
                     f"until={stop_at} must be greater than now={self._now}"
                 )
 
+        # Hoisted loop-invariant lookups: run() drives every experiment,
+        # so the per-step overhead here multiplies by the event count.
+        queue = self._queue
+        step = self.step
         if stop_evt is not None:
             done = []
             stop_evt.callbacks.append(done.append)
-            while self._queue and not done:
-                self.step()
+            while queue and not done:
+                step()
             if done:
                 evt = done[0]
                 if not evt._ok:
@@ -562,8 +622,8 @@ class Environment:
                 return evt._value
             raise SimulationError("Event was never triggered: queue ran dry")
 
-        while self._queue and self.peek() < stop_at:
-            self.step()
+        while queue and queue[0][0] < stop_at:
+            step()
         if self._queue and stop_at != float("inf"):
             self._now = stop_at
         return None

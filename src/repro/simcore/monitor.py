@@ -233,32 +233,57 @@ class MetricScope:
 
     ``registry.scope("hvac").scope("c3").counter("reads")`` names the
     same collector as ``registry.counter("hvac.c3.reads")`` — scopes add
-    no storage, only naming discipline.
+    no storage beyond a per-scope collector cache, only naming
+    discipline.  The cache makes repeated lookups lazy about label
+    construction: the dotted name is built once per (scope, name), not
+    once per sample, so hot paths that look collectors up by name pay a
+    plain dict hit (PERF103).
     """
 
-    __slots__ = ("registry", "prefix")
+    __slots__ = ("registry", "prefix", "_counters", "_tallies",
+                 "_series", "_histograms")
 
     def __init__(self, registry: "MetricRegistry", prefix: str):
         self.registry = registry
         self.prefix = prefix
+        self._counters: dict[str, Counter] = {}
+        self._tallies: dict[str, Tally] = {}
+        self._series: dict[str, Series] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     def _name(self, name: str) -> str:
-        return f"{self.prefix}.{name}" if self.prefix else name
+        return f"{self.prefix}.{name}" if self.prefix else name  # perf: waive PERF103 -- miss path only; hits come from the per-scope collector cache
 
     def scope(self, name: str) -> "MetricScope":
         return MetricScope(self.registry, self._name(name))
 
     def counter(self, name: str) -> Counter:
-        return self.registry.counter(self._name(name))
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = self.registry.counter(self._name(name))
+        return c
 
     def tally(self, name: str) -> Tally:
-        return self.registry.tally(self._name(name))
+        t = self._tallies.get(name)
+        if t is None:
+            t = self._tallies[name] = self.registry.tally(self._name(name))
+        return t
 
     def get_series(self, name: str) -> Series:
-        return self.registry.get_series(self._name(name))
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = self.registry.get_series(self._name(name))
+        return s
 
     def histogram(self, name: str, **kwargs) -> Histogram:
-        return self.registry.histogram(self._name(name), **kwargs)
+        if kwargs:
+            # Custom binning must reach the registry (first caller wins
+            # there, same as before) — don't cache past the kwargs.
+            return self.registry.histogram(self._name(name), **kwargs)
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = self.registry.histogram(self._name(name))
+        return h
 
     def __repr__(self) -> str:
         return f"<MetricScope {self.prefix!r}>"
@@ -317,6 +342,7 @@ class MetricRegistry:
         for name, c in self.counters.items():
             out[name] = c.value
         for name, t in self.tallies.items():
+            # perf: waive PERF105 -- post-run snapshot assembly, not per-event
             out[name] = {
                 "n": t.n,
                 "mean": t.mean,
@@ -325,6 +351,7 @@ class MetricRegistry:
                 "max": t.max,
             }
         for name, h in self.histograms.items():
+            # perf: waive PERF105 -- post-run snapshot assembly, not per-event
             out[name] = {
                 "n": h.n,
                 "mean": h.mean,
@@ -333,5 +360,6 @@ class MetricRegistry:
                 **h.percentiles(),
             }
         for name, s in self.series.items():
+            # perf: waive PERF105 -- post-run snapshot assembly, not per-event
             out[name] = {"n": len(s), "mean": s.mean(), "total": s.total()}
         return out

@@ -34,6 +34,8 @@ def stable_hash64(*parts: object) -> int:
 class RandomStreams:
     """A tree of named, independent :class:`numpy.random.Generator` streams."""
 
+    __slots__ = ("seed", "_streams")
+
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}

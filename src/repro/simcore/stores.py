@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Optional
 
 from .engine import Environment, Event, SimulationError
@@ -63,9 +64,11 @@ class Store:
             raise SimulationError("capacity must be > 0")
         self.env = env
         self._capacity = capacity
-        self.items: list = []
-        self._puts: list[_StorePut] = []
-        self._gets: list[_StoreGet] = []
+        # Deques, not lists: every server data-mover pops the head once
+        # per forwarded I/O, and list.pop(0) is O(n) per event (PERF105).
+        self.items: deque = deque()
+        self._puts: deque[_StorePut] = deque()
+        self._gets: deque[_StoreGet] = deque()
 
     @property
     def capacity(self) -> float:
@@ -106,7 +109,7 @@ class Store:
 
     def _do_get(self, evt: _StoreGet) -> bool:
         if self.items:
-            evt.succeed(self.items.pop(0))
+            evt.succeed(self.items.popleft())
             return True
         return False
 
@@ -115,10 +118,10 @@ class Store:
         while progressed:
             progressed = False
             if self._puts and self._do_put(self._puts[0]):
-                self._puts.pop(0)
+                self._puts.popleft()
                 progressed = True
             if self._gets and self._do_get(self._gets[0]):
-                self._gets.pop(0)
+                self._gets.popleft()
                 progressed = True
 
 
@@ -128,6 +131,7 @@ class PriorityStore(Store):
     def __init__(self, env: Environment, capacity: float = float("inf")):
         super().__init__(env, capacity)
         self._tiebreak = itertools.count()
+        self.items = []  # heapq needs a list, not the base deque
 
     def _do_put(self, evt: _StorePut) -> bool:
         if len(self.items) < self._capacity:
@@ -152,6 +156,12 @@ class _FilterStoreGet(_StoreGet):
         self.filter = filt
 
 
+def _accept_any(item: Any) -> bool:
+    """Default FilterStore predicate (module-level: gets are per-event,
+    and a fresh lambda per get is pure hot-path allocation, PERF102)."""
+    return True
+
+
 class FilterStore(Store):
     """Store supporting predicated gets: ``get(lambda item: ...)``.
 
@@ -160,7 +170,7 @@ class FilterStore(Store):
     """
 
     def get(self, filt: Optional[Callable[[Any], bool]] = None) -> _FilterStoreGet:  # type: ignore[override]
-        evt = _FilterStoreGet(self.env, filt or (lambda item: True))
+        evt = _FilterStoreGet(self.env, filt or _accept_any)
         evt._store = self
         self._gets.append(evt)
         self._settle()
@@ -181,7 +191,7 @@ class FilterStore(Store):
         while progressed:
             progressed = False
             if self._puts and self._do_put(self._puts[0]):
-                self._puts.pop(0)
+                self._puts.popleft()
                 progressed = True
             for evt in list(self._gets):
                 if self._do_get(evt):

@@ -28,6 +28,7 @@ def event_label(event) -> str:
     the event's type, plus the process name for Process events."""
     cls = type(event).__name__
     if cls == "Process":
+        # perf: waive PERF103 -- only called under the engine's observed flag, never on a bare run
         return f"Process:{event.name}"
     return cls
 
@@ -62,6 +63,11 @@ class EventTrace:
     keep_all:
         Retain every record (small experiments / debugging).
     """
+
+    __slots__ = (
+        "checkpoint_every", "keep_window", "keep_all",
+        "count", "checkpoints", "records", "_h",
+    )
 
     def __init__(
         self,

@@ -19,9 +19,12 @@ from typing import Generator
 __all__ = ["FileBackend", "OpenFile", "FileNotCached"]
 
 
-@dataclass
+@dataclass(slots=True)
 class OpenFile:
-    """A live file handle returned by :meth:`FileBackend.open`."""
+    """A live file handle returned by :meth:`FileBackend.open`.
+
+    Slotted: one handle per intercepted <open, read, close> triple, so
+    the epoch loop allocates these at event rate (PERF101)."""
 
     path: str
     size: int

@@ -1,0 +1,15 @@
+"""PERF101 fixture: a churned class without ``__slots__``.
+
+With no kernel module in the file set every function counts as hot, so
+the instantiation in ``on_event`` is a per-event allocation — and a
+slotless class pays an extra ``__dict__`` per instance.
+"""
+
+
+class Token:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+def on_event(seq):
+    return Token(seq)

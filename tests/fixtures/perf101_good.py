@@ -1,0 +1,13 @@
+"""PERF101 fixture (clean): the same per-event instantiation, but the
+class declares ``__slots__`` so each instance is a fixed-size record."""
+
+
+class Token:
+    __slots__ = ("seq",)
+
+    def __init__(self, seq):
+        self.seq = seq
+
+
+def on_event(seq):
+    return Token(seq)

@@ -1,0 +1,11 @@
+"""PERF102 fixture: a closure rebuilt on every call of a hot function.
+
+The nested ``key`` function object (and its cell) is allocated per
+call even though it captures nothing that changes."""
+
+
+def on_event(items):
+    def key(item):
+        return item[1]
+
+    return sorted(items, key=key)

@@ -1,0 +1,10 @@
+"""PERF102 fixture (clean): the sort key hoisted to module level, built
+once at import time instead of once per event."""
+
+
+def _key(item):
+    return item[1]
+
+
+def on_event(items):
+    return sorted(items, key=_key)

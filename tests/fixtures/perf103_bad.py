@@ -1,0 +1,8 @@
+"""PERF103 fixture: a metric label built eagerly on every call.
+
+The f-string interpolates ``server_id`` on each invocation even though
+the result is the same for a given server."""
+
+
+def read_label(server_id):
+    return f"server{server_id}.read"

@@ -1,0 +1,12 @@
+"""PERF103 fixture (clean): the label memoized per server — the
+f-string runs once per distinct id, and the hot path pays a dict hit."""
+
+_LABELS: dict = {}
+
+
+def read_label(server_id):
+    got = _LABELS.get(server_id)
+    if got is None:
+        name = f"server{server_id}.read"
+        got = _LABELS[server_id] = name
+    return got

@@ -1,0 +1,10 @@
+"""PERF104 fixture: an attribute chain re-walked inside a loop.
+
+``conn.stats.reads`` is two loads per mention; the loop repeats the
+walk on every iteration even though ``conn`` never changes."""
+
+
+def drain(conn, batch, out):
+    for item in batch:
+        out.append(conn.stats.reads)
+        out.append(conn.stats.reads + item)

@@ -1,0 +1,9 @@
+"""PERF104 fixture (clean): the loop-invariant chain hoisted to a local
+before the loop — one attribute walk total."""
+
+
+def drain(conn, batch, out):
+    reads = conn.stats.reads
+    for item in batch:
+        out.append(reads)
+        out.append(reads + item)

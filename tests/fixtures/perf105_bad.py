@@ -1,0 +1,9 @@
+"""PERF105 fixture: O(n) container work per event.
+
+``list.pop(0)`` shifts every remaining element, so draining the queue
+this way is quadratic in its length."""
+
+
+def drain(queue, out):
+    while queue:
+        out.append(queue.pop(0))

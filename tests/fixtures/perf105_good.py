@@ -1,0 +1,8 @@
+"""PERF105 fixture (clean): one reverse up front, then O(1) tail pops —
+the whole drain is linear."""
+
+
+def drain(queue, out):
+    queue.reverse()
+    while queue:
+        out.append(queue.pop())

@@ -1,0 +1,21 @@
+"""SIM013 fixture: unordered-container taint through function returns.
+
+``candidates()`` returns a set; ``pick()`` forwards it verbatim through
+its own ``return``, so ``drain()``'s loop replays in hash order even
+though no set expression appears anywhere near the loop — only the
+return-tracking taint pass (SIM013) can follow the container across two
+return boundaries to the iteration site.
+"""
+
+
+def candidates():
+    return {"a", "b", "c"}
+
+
+def pick():
+    return candidates()
+
+
+def drain(out):
+    for name in pick():
+        out.append(name)

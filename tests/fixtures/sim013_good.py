@@ -1,0 +1,16 @@
+"""SIM013 fixture (clean): the same two-hop call shape, but the
+producer sorts before returning, so the order crossing the return
+boundaries is deterministic."""
+
+
+def candidates():
+    return sorted({"a", "b", "c"})
+
+
+def pick():
+    return candidates()
+
+
+def drain(out):
+    for name in pick():
+        out.append(name)

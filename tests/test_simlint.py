@@ -63,6 +63,13 @@ BAD_FIXTURES = {
         "    def reset(self):\n"
         "        self._live = set()\n"
     ),
+    "SIM013": (
+        "def live():\n"
+        "    return {3, 1}\n\n"  # unordered producer
+        "def drain(out):\n"
+        "    for sid in live():\n"  # hash order crosses the return
+        "        out.append(sid)\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -127,6 +134,13 @@ GOOD_FIXTURES = {
         "        return sorted(self._live)\n"
         "    def reset(self):\n"
         "        self._live = set()\n"
+    ),
+    "SIM013": (
+        "def live():\n"
+        "    return sorted({3, 1})\n\n"
+        "def drain(out):\n"
+        "    for sid in live():\n"
+        "        out.append(sid)\n"
     ),
 }
 
@@ -424,6 +438,46 @@ class TestCrossModuleTaint:
         assert "reset" in bad.violations[0].message
         good = lint_tree([os.path.join(FIXTURES, "sim012_good.py")])
         assert good.violations == []
+
+    def test_sim013_fixture_files(self):
+        bad = lint_tree([os.path.join(FIXTURES, "sim013_bad.py")])
+        rules = [v.rule for v in bad.violations]
+        assert rules == ["SIM013"]
+        v = bad.violations[0]
+        # flagged at drain()'s loop, naming the transitive producer
+        assert "pick" in v.message and "unordered" in v.message
+        good = lint_tree([os.path.join(FIXTURES, "sim013_good.py")])
+        assert good.violations == []
+
+    def test_sim013_waived_at_producer_is_sanctioned(self):
+        src = (
+            "def live():\n"
+            "    return {3, 1}  # simlint: waive SIM013 -- order rechecked downstream\n\n"
+            "def drain(out):\n"
+            "    for sid in live():\n"
+            "        out.append(sid)\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim013_order_preserving_wrapper_still_fires(self):
+        src = (
+            "def live():\n"
+            "    return {3, 1}\n\n"
+            "def drain(out):\n"
+            "    for sid in list(live()):\n"
+            "        out.append(sid)\n"
+        )
+        assert "SIM013" in codes(src, scope="sim")
+
+    def test_sim013_sorted_at_call_site_is_clean(self):
+        src = (
+            "def live():\n"
+            "    return {3, 1}\n\n"
+            "def drain(out):\n"
+            "    for sid in sorted(live()):\n"
+            "        out.append(sid)\n"
+        )
+        assert codes(src, scope="sim") == []
 
 
 class TestScope:
