@@ -78,6 +78,26 @@ def _resilience(trace: EventTrace | None) -> None:
     )
 
 
+def _tenancy(trace: EventTrace | None) -> None:
+    from .experiments.tenancy import tenancy_isolation
+
+    # smoke-scale hot-storm isolation run (all three cache modes); the
+    # shrunken cache_fraction keeps the smoke in the same thrash regime
+    # the full-scale scenario exercises
+    tenancy_isolation(
+        n_nodes=3,
+        victim_files=12,
+        aggressor_files=120,
+        file_size=100_000,
+        storm_passes=2,
+        windows=8,
+        n_jobs=6,
+        cache_fraction=0.2,
+        seed=0,
+        trace=trace,
+    )
+
+
 def _fuzz_single(trace: EventTrace | None) -> None:
     from .fuzz.executor import execute
     from .fuzz.scenario import ScenarioGenerator
@@ -115,6 +135,10 @@ SCENARIOS: dict[str, BenchScenario] = {
         BenchScenario(
             "resilience", _resilience,
             note="resilience sweep, fail fractions 0.0/0.5 on 4 nodes",
+        ),
+        BenchScenario(
+            "tenancy", _tenancy,
+            note="multi-tenant hot-storm isolation, all three cache modes",
         ),
         BenchScenario(
             "fuzz_single", _fuzz_single, traced=True,

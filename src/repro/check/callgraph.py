@@ -68,6 +68,7 @@ class CallSite:
     set_args: tuple[int, ...] = ()  #: positional args that are known sets
     param_args: tuple[tuple[int, str], ...] = ()  #: (pos, caller param) pass-throughs
     in_return: bool = False  #: the call is the caller's ``return`` expression
+    in_yield_from: bool = False  #: the call is a ``yield from`` delegate
     iterated: bool = False  #: the call's result feeds a ``for``/comprehension
 
 
@@ -87,6 +88,8 @@ class FunctionInfo:
     iterated_params: set[str] = field(default_factory=set)
     returns_unordered: bool = False  #: returns a set expr (or, after the
     #: fixpoint in :mod:`.taint`, passes through a callee that does)
+    yields_unordered: bool = False  #: ``yield from``-s a set expr (or,
+    #: after the fixpoint in :mod:`.taint`, delegates to one that does)
 
 
 def module_name_for(path: str) -> str:
@@ -117,6 +120,7 @@ class _ModuleScanner(ast.NodeVisitor):
         self._func_stack: list[FunctionInfo] = []
         self._nested_depth = 0  # inside a nested def: returns belong to it
         self._return_calls: set[int] = set()  # id()s of return-position Calls
+        self._yield_calls: set[int] = set()  # id()s of yield-from delegate Calls
         self._iterated_calls: set[int] = set()  # id()s of for/comp-iter Calls
 
     # -- import tracking (same alias model as rules._SimVisitor) ----------
@@ -282,6 +286,32 @@ class _ModuleScanner(ast.NodeVisitor):
                 self._return_calls.add(id(node.value))
         self.generic_visit(node)
 
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        # SIM014 bookkeeping: ``yield from <set>`` drains the container
+        # in hash order, and ``yield from g(...)`` forwards whatever
+        # order the delegate produces (resolved by the fixpoint in
+        # :mod:`.taint`).  Order-preserving shims are unwrapped just as
+        # at iteration sites, so ``yield from list(g())`` still follows
+        # g; ``sorted(...)`` neutralizes.  Nested defs keep their
+        # yields to themselves.
+        if self._func_stack and not self._nested_depth:
+            info = self._func_stack[-1]
+            value = node.value
+            while (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in self._ORDER_PRESERVING
+                and value.args
+            ):
+                value = value.args[0]
+            if self._waived(node.lineno, "SIM014"):
+                pass  # sanctioned producer: never a SIM014 source
+            elif self._is_set_expr(value):
+                info.yields_unordered = True
+            elif isinstance(value, ast.Call):
+                self._yield_calls.add(id(value))
+        self.generic_visit(node)
+
     def _visit_comp(self, node) -> None:
         for gen in node.generators:
             self._check_iteration(gen.iter)
@@ -347,6 +377,7 @@ class _ModuleScanner(ast.NodeVisitor):
                 set_args=set_args,
                 param_args=param_args,
                 in_return=id(node) in self._return_calls,
+                in_yield_from=id(node) in self._yield_calls,
                 iterated=id(node) in self._iterated_calls,
             )
         )

@@ -166,7 +166,7 @@ def lint_source(
     scope_ = scope or scope_of(path)
     tree = ast.parse(source, filename=path)
     violations = collect_violations(tree, path, scope=scope_, rules=active)
-    if active & {"SIM011", "SIM013"}:
+    if active & {"SIM011", "SIM013", "SIM014"}:
         from .taint import module_taint_violations
 
         violations += [
@@ -254,7 +254,7 @@ def lint_tree(
         per_file[path].extend(
             collect_violations(tree, path, scope=scope_of(path), rules=active)
         )
-    if active & {"SIM011", "SIM013"}:
+    if active & {"SIM011", "SIM013", "SIM014"}:
         if taint:
             from .taint import build_graph, taint_violations
 
@@ -284,7 +284,7 @@ def lint_tree(
         for lineno, codes in sorted(_waiver_comment_lines(source).items()):
             if lineno in used:
                 continue
-            if not taint and codes & {"SIM011", "SIM013"}:
+            if not taint and codes & {"SIM011", "SIM013", "SIM014"}:
                 continue  # only the cross-module pass can consume it
             stale.append(StaleWaiver(path, lineno, frozenset(codes)))
     return TreeLint(violations, stale, n_files=len(files))

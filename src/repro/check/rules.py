@@ -28,6 +28,9 @@ SIM012    ``set`` stored in an attribute by one method, iterated in
 SIM013    iterating the result of a call whose callee (transitively)
           *returns* an unordered container — taint carried by the
           return value across function boundaries
+SIM014    iterating a generator that (transitively) ``yield from``-s an
+          unordered container — taint carried down the yield path
+          across delegation hops
 ========  ============================================================
 
 The rules are deliberately heuristic: they aim at the handful of
@@ -80,6 +83,11 @@ RULES: dict[str, str] = {
     "boundary into the caller's loop, where local set tracking cannot "
     "see it — return sorted(...) from the callee or sort at the call "
     "site — reported by the interprocedural taint pass",
+    "SIM014": "iterating a generator whose yield path (transitively) "
+    "drains an unordered container; yield from forwards hash order "
+    "through every delegation hop, where the return-tracking pass "
+    "cannot see it — yield from sorted(...) in the producer or sort at "
+    "the call site — reported by the interprocedural taint pass",
 }
 
 #: SIM001 targets (fully-qualified after import-alias resolution)

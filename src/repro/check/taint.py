@@ -29,6 +29,15 @@ another unordered producer's result verbatim via ``return g(...)`` —
 is an unordered producer, and any sim-scope ``for``/comprehension
 iterating its call result replays in hash order.  The diagnostic lands
 at the loop's call site, where the fix (``sorted(...)``) belongs.
+
+The fourth flavor follows *yield paths* (**SIM014**): ``yield from``
+over a set — or a delegation chain that reaches one, hopping through
+``yield from g(...)`` and ``return g(...)`` alike — makes a generator
+an unordered producer too, and any sim-scope loop draining it replays
+in hash order.  The return-tracking pass cannot see this (a generator
+function's ``return`` is its StopIteration, not its items), so the
+yield path gets its own fixpoint; the diagnostic again lands at the
+consuming loop.
 """
 
 from __future__ import annotations
@@ -152,6 +161,30 @@ def propagate(graph: CallGraph) -> dict[str, dict[str, FunctionTaint]]:
                     info.returns_unordered = True
                     changed = True
                     break
+
+    # -- unordered yield-path fixpoint (SIM014) ----------------------------
+    # ``yield from g(...)`` drains g's container or generator in
+    # whatever order it produces, and ``return g(...)`` forwards a
+    # tainted generator verbatim — yield taint follows both edges.
+    # Runs after the return fixpoint so ``yield from`` of a finished
+    # unordered *returner* is caught too.
+    changed = True
+    while changed:
+        changed = False
+        for info in graph.functions.values():
+            if info.yields_unordered:
+                continue
+            for call in info.calls:
+                if call.target is None:
+                    continue
+                callee = graph.functions[call.target]
+                if (
+                    call.in_yield_from
+                    and (callee.returns_unordered or callee.yields_unordered)
+                ) or (call.in_return and callee.yields_unordered):
+                    info.yields_unordered = True
+                    changed = True
+                    break
     return taints
 
 
@@ -172,6 +205,13 @@ _RETURN_MESSAGE = (
     "returns an unordered container, so hash order crosses the return "
     "boundary into this loop — return sorted(...) from the producer or "
     "sort at this call site"
+)
+
+_YIELD_MESSAGE = (
+    "iterating the result of '{display}': {callee} (transitively) "
+    "yields from an unordered container, so hash order flows down the "
+    "yield path into this loop — yield from sorted(...) in the "
+    "producer or sort at this call site"
 )
 
 
@@ -204,6 +244,22 @@ def taint_violations(
                             call.line,
                             call.col,
                             _RETURN_MESSAGE.format(
+                                display=call.display,
+                                callee=callee.qualname,
+                            ),
+                        )
+                    )
+            if call.iterated and callee.yields_unordered:
+                key = (info.path, call.line, call.col, "SIM014")
+                if key not in seen:
+                    seen.add(key)
+                    out.append(
+                        Violation(
+                            "SIM014",
+                            info.path,
+                            call.line,
+                            call.col,
+                            _YIELD_MESSAGE.format(
                                 display=call.display,
                                 callee=callee.qualname,
                             ),

@@ -32,6 +32,7 @@ from .experiments import (
     resilience_sweep,
     run_training,
     slo_scenario,
+    tenancy_isolation,
 )
 
 __all__ = ["main"]
@@ -314,6 +315,41 @@ def cmd_membership(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tenancy(args: argparse.Namespace) -> int:
+    cache_fraction = None
+    if args.smoke:
+        args.nodes = min(args.nodes, 3)
+        args.victim_files = min(args.victim_files, 12)
+        args.aggressor_files = min(args.aggressor_files, 120)
+        args.file_size = min(args.file_size, 100_000)
+        args.storm_passes = min(args.storm_passes, 2)
+        args.windows = min(args.windows, 8)
+        args.jobs = min(args.jobs, 6)
+        # Shrink the caches so the reduced-scale aggressor still thrashes
+        # (12 MB dataset vs a 6 MB fleet pool).
+        cache_fraction = 0.2
+    result = tenancy_isolation(
+        n_nodes=args.nodes,
+        victim_files=args.victim_files,
+        aggressor_files=args.aggressor_files,
+        file_size=args.file_size,
+        storm_passes=args.storm_passes,
+        windows=args.windows,
+        n_jobs=args.jobs,
+        think=args.think,
+        streams=args.streams,
+        cache_fraction=cache_fraction,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.output_dir:
+        paths = result.write_artifacts(args.output_dir)
+        print()
+        for name, path in paths.items():
+            print(f"wrote {name}: {path}")
+    return 0 if result.dominates() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HVAC reproduction toolkit"
@@ -423,6 +459,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny fast run (CI artifact smoke test)")
     p.set_defaults(func=cmd_membership)
+
+    p = sub.add_parser(
+        "tenancy",
+        help="multi-tenant fleet: hot-storm isolation under partition-"
+        "vs-share cache policies + admission-controlled arrival mix "
+        "(exit 0 iff weighted-fair dominates shared LRU for the victim)",
+    )
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--victim-files", type=int, default=40,
+                   help="victim tenant dataset size (files)")
+    p.add_argument("--aggressor-files", type=int, default=400,
+                   help="aggressor tenant dataset size (files); sized "
+                   "past the aggregate cache so the shared pool thrashes")
+    p.add_argument("--file-size", type=int, default=200_000)
+    p.add_argument("--storm-passes", type=int, default=2,
+                   help="measured passes both tenants make during the storm")
+    p.add_argument("--windows", type=int, default=12,
+                   help="SLO window count across the storm")
+    p.add_argument("--jobs", type=int, default=8,
+                   help="arrival-mix jobs for the admission demo")
+    p.add_argument("--think", type=float, default=0.08,
+                   help="victim service pacing (s); must exceed the shared "
+                   "pool's eviction horizon for the storm to bite")
+    p.add_argument("--streams", type=int, default=4,
+                   help="parallel aggressor sweep streams per node")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-dir", default="",
+                   help="also write report.txt + windows.log here")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fast run (CI artifact smoke test)")
+    p.set_defaults(func=cmd_tenancy)
 
     p = sub.add_parser(
         "fuzz",

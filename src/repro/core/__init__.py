@@ -2,7 +2,7 @@
 
 from .cache import CacheManager, EvictionPolicy, make_policy
 from .client import HVACClient
-from .deployment import HVACDeployment
+from .deployment import HVACDeployment, client_key_order
 from .prefetch import CachePrefetcher
 from .hashing import (
     ConsistentHashPlacement,
@@ -22,6 +22,7 @@ __all__ = [
     "EvictionPolicy",
     "HVACClient",
     "HVACDeployment",
+    "client_key_order",
     "HVACServer",
     "LocalityPlacement",
     "make_placement",

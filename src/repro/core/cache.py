@@ -196,6 +196,9 @@ class CacheManager:
         self._m_read_seconds = self._scope.tally("read_seconds")
         self._sizes: dict[str, int] = {}
         self._used = 0
+        #: optional :class:`~repro.tenancy.TenantCacheArbiter`; when set
+        #: it owns admission and victim selection on the insert path
+        self.arbiter = None
         #: race-sanitizer cell: the whole map is one cell because the
         #: byte budget couples entries (an insert can evict any path)
         self._cell = f"cache.{name}"
@@ -223,14 +226,17 @@ class CacheManager:
         """Record a cache hit for recency-tracking policies."""
         if path in self._sizes:
             self.policy.on_access(path)
+            if self.arbiter is not None:
+                self.arbiter.on_access(path)
             self._m_hits.incr()
 
     # -- mutation ------------------------------------------------------------
-    def insert(self, path: str, size: int) -> Generator:
+    def insert(self, path: str, size: int, tenant: Optional[int] = None) -> Generator:
         """Write ``path`` into the cache, evicting as needed.
 
         Returns True if cached; False if the policy refused (MinIO when
-        full) or the file alone exceeds capacity.
+        full), the file alone exceeds capacity, or — under a tenancy
+        arbiter — the owning tenant is over quota / out of slab room.
         """
         if size <= 0:
             raise ValueError("size must be positive")
@@ -241,12 +247,24 @@ class CacheManager:
         if size > self.capacity_bytes:
             self._m_uncacheable.incr()
             return False
-        while self._used + size > self.capacity_bytes:
-            victim = self.policy.victim()
-            if victim is None:
+        arb = self.arbiter
+        if arb is not None:
+            # The arbiter owns the whole decision: quota/slab admission
+            # first, then mode-specific victim selection (it calls back
+            # into _evict for each victim it picks).
+            if not arb.admit(tenant, path, size):
                 self._m_refused.incr()
                 return False
-            self._evict(victim)
+            if not arb.make_room(tenant, path, size):
+                self._m_refused.incr()
+                return False
+        else:
+            while self._used + size > self.capacity_bytes:
+                victim = self.policy.victim()
+                if victim is None:
+                    self._m_refused.incr()
+                    return False
+                self._evict(victim)
         # Bookkeeping happens eagerly, before the timed device write, so
         # the index and device accounting can never diverge (a purge or
         # failure mid-write still sees the reservation).
@@ -254,6 +272,8 @@ class CacheManager:
         self._sizes[path] = size
         self._used += size
         self.policy.on_insert(path)
+        if arb is not None:
+            arb.on_insert(tenant, path, size)
         self._m_inserts.incr()
         yield from self.localfs.device.write(size)
         return True
@@ -264,6 +284,8 @@ class CacheManager:
         self._used -= size
         self.localfs.device.release(size)
         self.policy.on_delete(path)
+        if self.arbiter is not None:
+            self.arbiter.on_evict(path)
         self._m_evictions.incr()
 
     def evict(self, path: str) -> None:

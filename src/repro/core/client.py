@@ -79,6 +79,7 @@ class HVACClient(FileBackend):
         spread_replica_reads: bool = True,
         rand: RandomStreams | None = None,
         spans=None,
+        tenant: Optional[int] = None,
     ):
         self.env = env
         self.node_id = node_id
@@ -91,11 +92,20 @@ class HVACClient(FileBackend):
         self.rand = rand or RandomStreams(stable_hash64("hvac-client", node_id))
         #: optional :class:`~repro.obs.SpanRecorder`
         self.spans = spans
+        #: tenant this client reads on behalf of (multi-tenant fleets);
+        #: None = the classic single-job deployment, byte-identical paths
+        self.tenant = tenant
+        #: admission-controller degrade mode: route every read straight
+        #: to the PFS, consuming zero fleet cache (per-job state)
+        self.pfs_only = False
         # Deployment-wide aggregate counters keep their historical names
         # (``hvac.client_hits`` …); the per-client scope shadows each of
-        # them under ``hvac.c<node>.…`` for SLO attribution.
+        # them under ``hvac.c<node>.…`` for SLO attribution.  Tenant
+        # clients shadow a third level, ``hvac.t<j>.…``, aggregating the
+        # tenant's traffic across all of its per-node clients.
         self._hvac = self.metrics.scope("hvac")
         self._cscope = self._hvac.scope(f"c{node_id}")
+        self._tscope = None if tenant is None else self._hvac.scope(f"t{tenant}")
         hvac = spec.hvac
         self.detector = FailureDetector(
             env,
@@ -151,9 +161,11 @@ class HVACClient(FileBackend):
 
     # -- telemetry helpers -------------------------------------------------
     def _incr(self, name: str, n: int = 1) -> None:
-        """Bump a client counter at both aggregation levels."""
+        """Bump a client counter at every aggregation level."""
         self._hvac.counter(name).incr(n)
         self._cscope.counter(name).incr(n)
+        if self._tscope is not None:
+            self._tscope.counter(name).incr(n)
 
     def _route_bytes(self, root: Optional[int], route: str, nbytes: int) -> None:
         """Account ``nbytes`` delivered via ``route`` (local/remote/pfs)."""
@@ -236,18 +248,47 @@ class HVACClient(FileBackend):
         rec = self.spans
         root = None
         if rec is not None:
-            root = rec.begin(
-                "client.read",
-                self.env.now,
-                client=self.node_id,
-                path=handle.path,
-                bytes=nbytes,
-            )
+            if self.tenant is None:
+                root = rec.begin(
+                    "client.read",
+                    self.env.now,
+                    client=self.node_id,
+                    path=handle.path,
+                    bytes=nbytes,
+                )
+            else:
+                root = rec.begin(
+                    "client.read",
+                    self.env.now,
+                    client=self.node_id,
+                    path=handle.path,
+                    bytes=nbytes,
+                    tenant=self.tenant,
+                )
         t0 = self.env.now
         yield self.env.timeout(self.spec.hvac.client_request_overhead)
 
         hvac = self.spec.hvac
-        if hvac.stripe_large_files and handle.size > hvac.stripe_threshold:
+        if self.pfs_only:
+            # Admission degraded this job: the fleet cache is off-limits,
+            # every read is a direct PFS transaction.  Still a *serviced*
+            # read — just the slow path, and always counted degraded.
+            fb = None
+            if rec is not None:
+                fb = rec.begin(
+                    "pfs.fallback",
+                    self.env.now,
+                    parent=root,
+                    path=handle.path,
+                    bytes=handle.size,
+                )
+            yield from self.pfs.read_file(handle.path, handle.size, handle.client_node)
+            if rec is not None:
+                rec.end(fb, self.env.now)
+            self._route_bytes(root, "pfs", handle.size)
+            self._incr("client_pfs_only_reads")
+            degraded = True
+        elif hvac.stripe_large_files and handle.size > hvac.stripe_threshold:
             degraded = yield from self._read_striped(handle, root)
         else:
             hit, route, failures = yield from self._forward_read(
@@ -310,10 +351,11 @@ class HVACClient(FileBackend):
                 hit = yield from self.endpoint.call(
                     server.endpoint,
                     "read",
-                    payload=(path, size, parent),
-                    payload_bytes=len(path) + 16,
+                    payload=(path, size, parent, self.tenant),
+                    payload_bytes=len(path) + (24 if self.tenant is not None else 16),
                     timeout=hvac.rpc_timeout,
                     span=parent,
+                    tenant=self.tenant,
                 )
             except RPCTimeout:
                 failures += 1

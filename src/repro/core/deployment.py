@@ -26,7 +26,18 @@ from .hashing import (
 )
 from .server import HVACServer
 
-__all__ = ["HVACDeployment"]
+__all__ = ["HVACDeployment", "client_key_order"]
+
+
+def client_key_order(key) -> tuple:
+    """Deterministic sort key over mixed client-table keys.
+
+    Classic deployments key clients by bare node id; tenant fleets key
+    them by ``(node, tenant)``.  Sorting a table holding both kinds
+    (or either alone) needs one total order — bare ids sort as
+    ``(node, -1)``, before every tenant client of the same node.
+    """
+    return (key, -1) if isinstance(key, int) else tuple(key)
 
 
 class HVACDeployment:
@@ -155,10 +166,19 @@ class HVACDeployment:
         base = node_id * self.instances_per_node
         return self.servers[base : base + self.instances_per_node]
 
-    def client(self, node_id: int) -> HVACClient:
-        """The (cached, per-node) HVAC client for processes on ``node_id``."""
-        cli = self._clients.get(node_id)
+    def client(self, node_id: int, tenant: Optional[int] = None) -> HVACClient:
+        """The (cached) HVAC client for processes on ``node_id``.
+
+        Classic single-job deployments get one client per node (keyed by
+        the bare node id — byte-identical to the pre-tenancy behavior).
+        Multi-tenant fleets get one client per (node, tenant): each job's
+        detector evidence, retry budgets, and RNG stream are its own, so
+        one tenant's strikes never pollute another's failover state.
+        """
+        key = node_id if tenant is None else (node_id, tenant)
+        cli = self._clients.get(key)
         if cli is None:
+            suffix = "" if tenant is None else f".t{tenant}"
             cli = HVACClient(
                 self.env,
                 node_id,
@@ -167,33 +187,39 @@ class HVACDeployment:
                 self.pfs,
                 self.spec,
                 metrics=self.metrics,
-                rand=self.rand.child(f"client{node_id}"),
+                rand=self.rand.child(f"client{node_id}{suffix}"),
                 spans=self.spans,
+                tenant=tenant,
             )
-            self._clients[node_id] = cli
+            self._clients[key] = cli
             if self.membership_enabled:
-                self._join_membership(cli)
+                self._join_membership(cli, key)
         return cli
 
-    def _join_membership(self, cli: HVACClient) -> None:
+    def _join_membership(self, cli: HVACClient, key=None) -> None:
         """Give a fresh client its view and gossip agent."""
         from ..membership import GossipAgent, MembershipView
 
+        if key is None:
+            key = cli.node_id
+        owner = (
+            f"c{cli.node_id}"
+            if cli.tenant is None
+            else f"c{cli.node_id}t{cli.tenant}"
+        )
         hvac = self.spec.hvac
         view = MembershipView(
             self.env,
             len(self.servers),
-            owner=f"c{cli.node_id}",
+            owner=owner,
             probation=hvac.probation_period,
             dead_after=hvac.suspect_to_dead,
             spans=self.spans,
-            metrics=self.metrics.scope(f"hvac.c{cli.node_id}.membership"),
+            metrics=self.metrics.scope(f"hvac.{owner}.membership"),
         )
         cli.attach_membership(view, remap=hvac.remap_enabled)
-        self.views[cli.node_id] = view
-        self.gossips[cli.node_id] = GossipAgent(
-            self.env, cli, view, self._clients, self.spec
-        )
+        self.views[key] = view
+        self.gossips[key] = GossipAgent(self.env, cli, view, self._clients, self.spec)
 
     @classmethod
     def with_locality_split(
@@ -218,8 +244,8 @@ class HVACDeployment:
     # -- lifecycle ----------------------------------------------------------
     def teardown(self) -> None:
         """Job end: purge caches, stop servers (cache dies with the job)."""
-        for node_id in sorted(self.gossips):
-            self.gossips[node_id].stop()
+        for key in sorted(self.gossips, key=client_key_order):
+            self.gossips[key].stop()
         for server in self.servers:
             server.teardown()
 

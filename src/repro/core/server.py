@@ -52,6 +52,8 @@ class ReadRequest:
     path: str
     size: int
     client_node: int
+    #: tenant tag the client forwarded (None = untagged / single-job)
+    tenant: object = None
     done: Event = field(repr=False, default=None)  # type: ignore[assignment]
     #: filled by the mover: was this served from cache?
     hit: bool = False
@@ -309,24 +311,43 @@ class HVACServer:
     def _handle_read(self, payload: tuple, src: int) -> Generator:
         """Enqueue on the shared FIFO; wait for the data mover; bulk-push.
 
-        The payload's optional third element is the caller's span id;
-        when a recorder is attached the server-side ``server.read`` span
-        links into the client's causal tree through it.
+        The payload's optional trailing elements are the caller's span
+        id (linking the server-side ``server.read`` span into the
+        client's causal tree) and the tenant tag (threaded to the cache
+        so the tenancy arbiter can attribute the insert).
         """
         path, size, *rest = payload
+        parent = rest[0] if rest else None
+        tenant = rest[1] if len(rest) > 1 else None
         rec = self.spans
         sid = None
         if rec is not None:
-            sid = rec.begin(
-                "server.read",
-                self.env.now,
-                parent=rest[0] if rest else None,
-                server=self.server_id,
-                path=path,
-                bytes=size,
-            )
+            if tenant is None:
+                sid = rec.begin(
+                    "server.read",
+                    self.env.now,
+                    parent=parent,
+                    server=self.server_id,
+                    path=path,
+                    bytes=size,
+                )
+            else:
+                sid = rec.begin(
+                    "server.read",
+                    self.env.now,
+                    parent=parent,
+                    server=self.server_id,
+                    path=path,
+                    bytes=size,
+                    tenant=tenant,
+                )
         req = ReadRequest(
-            path=path, size=size, client_node=src, done=self.env.event(), span=sid
+            path=path,
+            size=size,
+            client_node=src,
+            tenant=tenant,
+            done=self.env.event(),
+            span=sid,
         )
         t0 = self.env.now
         try:
@@ -465,7 +486,7 @@ class HVACServer:
                 # (the NVMe write is off the serve path but still
                 # occupies the device).
                 req.done.succeed()
-                yield from self.cache.insert(req.path, req.size)
+                yield from self.cache.insert(req.path, req.size, tenant=req.tenant)
             finally:
                 # fail()/recover() may already have flushed the dict and
                 # failed the event while this fetch was in flight.

@@ -38,6 +38,7 @@ from .scaling import (
     overhead_vs_xfs,
 )
 from .slo_exp import SLOScenarioResult, slo_scenario
+from .tenancy import TenancyResult, tenancy_isolation
 
 __all__ = [
     "AccuracyComparison",
@@ -76,4 +77,6 @@ __all__ = [
     "SLOScenarioResult",
     "slo_scenario",
     "SMALL_FILE",
+    "TenancyResult",
+    "tenancy_isolation",
 ]

@@ -20,8 +20,17 @@ findings transfer to them directly:
 Every run gets a :class:`~repro.simcore.EventTrace` (the determinism
 fingerprint), a :class:`~repro.obs.SpanRecorder` (per-read byte/retry
 accounting), and per-client invariant counters registered as
-race-sanitizer cells (``fuzz.reads.n<node>``) so ``repro fuzz --races``
-extends the ``--races`` guarantee over fuzzed interleavings.
+race-sanitizer cells (``fuzz.reads.n<node>``, or
+``fuzz.reads.t<j>.n<node>`` in multi-tenant scenarios) so ``repro fuzz
+--races`` extends the ``--races`` guarantee over fuzzed interleavings.
+
+Multi-tenant scenarios (``scenario.tenants > 1``) run one reader unit
+per (tenant, client) pair: every unit gets its own fleet client via
+``dep.client(node, tenant=j)``, its own namespace's files and plan,
+and its own board cell, so tenant isolation holes surface as ordinary
+invariant violations.  Single-tenant scenarios keep the exact
+pre-tenancy client keys, process names, and cells — their event
+fingerprints are unchanged.
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cluster import Allocation
-from ..core import HVACDeployment
+from ..core import HVACDeployment, client_key_order
 from ..obs import SLOReport, SpanRecorder, compute_slo
 from ..simcore import (
     AllOf,
@@ -60,12 +69,16 @@ _COUNTERS = (
 
 @dataclass
 class EpochResult:
-    """One deadline-supervised workload epoch."""
+    """One deadline-supervised workload epoch.
+
+    ``hung_clients`` holds bare node ids in single-tenant runs and
+    ``t<j>.n<node>`` labels in multi-tenant runs.
+    """
 
     label: str
     duration: float
     deadline: float
-    hung_clients: tuple[int, ...] = ()
+    hung_clients: tuple = ()
 
     @property
     def hung(self) -> bool:
@@ -100,33 +113,69 @@ class Observation:
     slo: SLOReport | None = None
 
 
-class _Board:
-    """Per-scenario invariant counters, one sanitizer cell per client.
+@dataclass(frozen=True)
+class _Unit:
+    """One reader: a (tenant, client) pair with its plan and dataset.
 
-    Each cell has a single writer (that client's reader process); the
+    ``tenant`` is ``None`` in single-tenant scenarios so the client
+    keys, process names, and board cells stay byte-identical to the
+    pre-tenancy executor (existing corpus fingerprints still hold).
+    """
+
+    tenant: int | None
+    node: int
+    plan: tuple
+    files: tuple
+    delay: float
+    think: float
+
+    @property
+    def key(self):
+        return self.node if self.tenant is None else (self.node, self.tenant)
+
+    @property
+    def label(self) -> str:
+        if self.tenant is None:
+            return f"n{self.node}"
+        return f"t{self.tenant}.n{self.node}"
+
+    @property
+    def cell(self) -> str:
+        return f"fuzz.reads.{self.label}"
+
+    @property
+    def hung_id(self):
+        return self.node if self.tenant is None else self.label
+
+
+class _Board:
+    """Per-scenario invariant counters, one sanitizer cell per reader.
+
+    Each cell has a single writer (that unit's reader process); the
     epoch watchdog reads them all at the deadline to name the hung
     clients.  Registering them keeps ``--races`` meaningful over fuzz
-    runs: if a refactor ever lets two events touch one client's counter
+    runs: if a refactor ever lets two events touch one unit's counter
     at the same timestamp — or lets a read completion tie with the
     deadline — the sanitizer reports it.
     """
 
-    def __init__(self, env, clients):
+    def __init__(self, env, units):
         self.env = env
-        self.started = {n: 0 for n in clients}
-        self.done = {n: 0 for n in clients}
+        self.cells = {u.key: u.cell for u in units}
+        self.started = {u.key: 0 for u in units}
+        self.done = {u.key: 0 for u in units}
 
-    def begin_read(self, node: int) -> None:
-        self.env.note_access(f"fuzz.reads.n{node}", "w")
-        self.started[node] += 1
+    def begin_read(self, key) -> None:
+        self.env.note_access(self.cells[key], "w")
+        self.started[key] += 1
 
-    def end_read(self, node: int) -> None:
-        self.env.note_access(f"fuzz.reads.n{node}", "w")
-        self.done[node] += 1
+    def end_read(self, key) -> None:
+        self.env.note_access(self.cells[key], "w")
+        self.done[key] += 1
 
-    def unfinished(self, node: int, planned: int) -> bool:
-        self.env.note_access(f"fuzz.reads.n{node}", "r")
-        return self.done[node] < planned
+    def unfinished(self, key, planned: int) -> bool:
+        self.env.note_access(self.cells[key], "r")
+        return self.done[key] < planned
 
 
 def _force_heal(dep: HVACDeployment, scenario: Scenario) -> None:
@@ -147,38 +196,45 @@ def _force_heal(dep: HVACDeployment, scenario: Scenario) -> None:
             dep.restore_node(node)
 
 
-def _detector_transitions(dep, n_nodes: int) -> list[tuple]:
-    out = []
-    for node in range(n_nodes):
-        cli = dep._clients.get(node)
-        if cli is None:
-            continue
+def _owner_label(key):
+    """Bare node id for classic clients, ``t<j>.n<node>`` for fleet ones."""
+    return key if isinstance(key, int) else f"t{key[1]}.n{key[0]}"
+
+
+def _detector_transitions(dep) -> list[tuple]:
+    rows = []
+    for key in sorted(dep._clients, key=client_key_order):
+        cli = dep._clients[key]
+        norm = client_key_order(key)
         for t, kind, sid in cli.detector.transitions:
-            out.append((t, node, kind, sid))
-    out.sort()
-    return out
+            rows.append(((t, norm, kind, sid), (t, _owner_label(key), kind, sid)))
+    rows.sort(key=lambda r: r[0])
+    return [r[1] for r in rows]
 
 
 def _membership_transitions(dep) -> list[tuple]:
-    out = []
-    for node in sorted(dep.views):
-        for t, sid, old, new, inc, why in dep.views[node].transitions:
-            out.append((t, node, sid, old, new, inc, why))
-    out.sort(key=lambda row: (row[0], row[1], row[2]))
-    return out
+    rows = []
+    for key in sorted(dep.views, key=client_key_order):
+        norm = client_key_order(key)
+        owner = _owner_label(key)
+        for t, sid, old, new, inc, why in dep.views[key].transitions:
+            rows.append(((t, norm, sid), (t, owner, sid, old, new, inc, why)))
+    rows.sort(key=lambda r: r[0])
+    return [r[1] for r in rows]
 
 
 def _view_mismatches(dep) -> list[str]:
     """Client views vs ground truth, post-heal: every healthy server
     must be routable again (the remap/repair story's end state)."""
     out = []
-    for node in sorted(dep.views):
+    for node in sorted(dep.views, key=client_key_order):
         view = dep.views[node]
         for server in dep.servers:
             healthy = server.alive and not server.hung
             if healthy and not view.routable(server.server_id):
                 out.append(
-                    f"client {node} still routes around healthy server "
+                    f"client {_owner_label(node)} still routes around "
+                    f"healthy server "
                     f"{server.server_id} (state "
                     f"{view.state_of(server.server_id)})"
                 )
@@ -221,25 +277,41 @@ def execute(
         spans=spans,
         allowed_strikes=spec.hvac.rpc_max_retries,
     )
-    plans = scenario.plans()
-    obs.reads_planned = scenario.epochs * sum(len(p) for p in plans.values())
-    wl = scenario.workload
-    straggler = wl.clients[-1] if wl.kind == "straggler" else None
-    board = _Board(env, wl.clients)
+    multi = scenario.tenants > 1
+    units: list[_Unit] = []
+    for j in range(scenario.tenants):
+        twl = scenario.workload_of(j)
+        tplans = scenario.plans(tenant=j)
+        tfiles = scenario.files(j)
+        straggler = twl.clients[-1] if twl.kind == "straggler" else None
+        for n in twl.clients:
+            units.append(
+                _Unit(
+                    tenant=j if multi else None,
+                    node=n,
+                    plan=tuple(tplans[n]),
+                    files=tuple(tfiles),
+                    delay=twl.straggler_delay if n == straggler else 0.0,
+                    think=twl.think if n == straggler else 0.0,
+                )
+            )
+    obs.reads_planned = scenario.epochs * sum(len(u.plan) for u in units)
+    board = _Board(env, units)
 
-    def reader(node, plan, warmup=False):
-        cli = dep.client(node)
-        delay = wl.straggler_delay if (not warmup and node == straggler) else 0.0
-        think = wl.think if (not warmup and node == straggler) else 0.0
+    def reader(unit, warmup=False):
+        cli = dep.client(unit.node, tenant=unit.tenant)
+        delay = 0.0 if warmup else unit.delay
+        think = 0.0 if warmup else unit.think
+        plan = unit.files if warmup else unit.plan
         try:
             if delay > 0.0:
                 yield env.timeout(delay)
             for path, size in plan:
                 if not warmup:
-                    board.begin_read(node)
-                yield from cli.read_file(path, size, node)
+                    board.begin_read(unit.key)
+                yield from cli.read_file(path, size, unit.node)
                 if not warmup:
-                    board.end_read(node)
+                    board.end_read(unit.key)
                 if think > 0.0:
                     yield env.timeout(think)
         except Interrupt:
@@ -248,8 +320,8 @@ def execute(
     def warm_epoch() -> float:
         t0 = env.now
         procs = [
-            env.process(reader(n, files, warmup=True), name=f"fuzz.warm.n{n}")
-            for n in wl.clients
+            env.process(reader(u, warmup=True), name=f"fuzz.warm.{u.label}")
+            for u in units
         ]
 
         def wait():
@@ -262,25 +334,25 @@ def execute(
         t0 = env.now
         done_before = dict(board.done)
         procs = {
-            n: env.process(reader(n, plans[n]), name=f"fuzz.{label}.n{n}")
-            for n in wl.clients
+            u.key: env.process(reader(u), name=f"fuzz.{label}.{u.label}")
+            for u in units
         }
         all_done = AllOf(env, list(procs.values()))
         overdue = env.timeout(deadline)
-        hung: list[int] = []
+        hung: list = []
 
         def watchdog():
             yield AnyOf(env, [all_done, overdue])
-            for n in wl.clients:
-                planned = done_before[n] + len(plans[n])
-                if board.unfinished(n, planned):
-                    hung.append(n)
+            for u in units:
+                planned = done_before[u.key] + len(u.plan)
+                if board.unfinished(u.key, planned):
+                    hung.append(u.hung_id)
 
         env.run(env.process(watchdog(), name=f"fuzz.{label}.watchdog"))
         if hung:
-            for n in wl.clients:
-                if procs[n].is_alive:
-                    procs[n].interrupt("epoch deadline")
+            for u in units:
+                if procs[u.key].is_alive:
+                    procs[u.key].interrupt("epoch deadline")
             alive = [p for p in procs.values() if p.is_alive]
             if alive:
 
@@ -316,7 +388,7 @@ def execute(
             env.run(until=obs.t_heal)
         _force_heal(dep, scenario)
         settle = obs.t_heal + 2 * spec.hvac.probation_period
-        for node in sorted(dep._clients):
+        for node in sorted(dep._clients, key=client_key_order):
             det = dep._clients[node].detector
             settle = max(settle, max(det._until, default=0.0))
         if scenario.membership:
@@ -348,7 +420,7 @@ def execute(
         name: dep.metrics.counter(f"hvac.{name}").value - base_counts[name]
         for name in _COUNTERS
     }
-    obs.detector_transitions = _detector_transitions(dep, n_nodes)
+    obs.detector_transitions = _detector_transitions(dep)
     obs.membership_transitions = _membership_transitions(dep)
     dep.teardown()
 

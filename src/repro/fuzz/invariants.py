@@ -1,6 +1,6 @@
 """The fuzzer's invariant checker.
 
-Six invariants, each a property the paper's resilience story (§III-H)
+Seven invariants, each a property the paper's resilience story (§III-H)
 promises under *any* fault schedule; every one is checked against the
 :class:`~repro.fuzz.executor.Observation` a scenario run produced:
 
@@ -26,6 +26,14 @@ promises under *any* fault schedule; every one is checked against the
     With the membership stack on: within a bounded window after heal,
     every client view routes to every healthy server again and repair
     has drained.
+``tenant_isolation``
+    Multi-tenant scenarios only: every completed read is attributed to
+    the tenant that owns the path it read — a mismatch means metric and
+    SLO scopes are polluted across namespaces.  Fairness under faults
+    is *not* a hard bound (a fault legitimately degrades whichever
+    tenant sits on the failed node), so the per-tenant degraded-fraction
+    spread feeds only the margin: the wider the storm lands on one
+    tenant, the closer to 0.
 
 Each check also yields a *margin* in ``[0, 1]`` — 0 at (or past) the
 bound, 1 far from it — which is the autopilot's near-violation signal.
@@ -50,6 +58,7 @@ INVARIANTS = (
     "determinism",
     "slo_recovery",
     "repair_convergence",
+    "tenant_isolation",
 )
 
 
@@ -73,6 +82,9 @@ class InvariantConfig:
     windows: int = 12
     #: campaign: double-run the fingerprint check every N-th run
     determinism_every: int = 4
+    #: margin reference scale for the per-tenant degraded-fraction
+    #: spread (tenant_isolation); margin = 1 - spread / isolation_ref
+    isolation_ref: float = 1.0
     #: shrinker: total re-check budget
     max_shrink_checks: int = 150
 
@@ -149,6 +161,7 @@ def check_observation(
     _check_determinism(obs, report, second_fingerprint)
     _check_slo(obs, config, report)
     _check_convergence(obs, config, report)
+    _check_isolation(obs, config, report)
     return report
 
 
@@ -302,3 +315,43 @@ def _check_convergence(obs, config, report) -> None:
     else:
         lag = (obs.t_converged - obs.t_settled) / config.convergence_window
         report.margins["repair_convergence"] = _clip(1.0 - lag)
+
+
+def _check_isolation(obs, config, report) -> None:
+    if obs.scenario.tenants < 2:
+        report.skipped.append("tenant_isolation")
+        return
+    from ..tenancy import tenant_of_path
+
+    mismatches = 0
+    checked = 0
+    for span in obs.spans.spans().values():
+        if span.name != "client.read" or span.t1 is None:
+            continue
+        tenant = span.attrs.get("tenant")
+        if tenant is None:
+            continue
+        checked += 1
+        path = str(span.attrs.get("path", ""))
+        owner = tenant_of_path(path)
+        if owner != tenant:
+            mismatches += 1
+            _violate(
+                report, "tenant_isolation",
+                f"span #{span.sid} charged to tenant t{tenant} read "
+                f"{path!r}, owned by "
+                f"{'no tenant' if owner is None else f't{owner}'}",
+                1.0, 0.0,
+            )
+    if not checked:
+        # aborted before any tenant-tagged read completed — nothing to judge
+        report.skipped.append("tenant_isolation")
+        return
+    # margin: how evenly the fault's blast radius lands across tenants
+    spread = 0.0
+    if obs.slo is not None and obs.slo.tenants:
+        fracs = [e.degraded_fraction for e in obs.slo.tenants.values()]
+        spread = max(fracs) - min(fracs)
+    report.margins["tenant_isolation"] = (
+        0.0 if mismatches else _clip(1.0 - spread / config.isolation_ref)
+    )

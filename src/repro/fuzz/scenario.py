@@ -103,6 +103,10 @@ class Scenario:
     mean_file_size: int = 25_000
     size_sigma: float = 0.0
     workload: Workload = field(default_factory=Workload)
+    #: multi-tenant dimension: tenants sharing the fleet (1 = classic).
+    #: Tenant 0 runs ``workload``; tenants 1..n-1 run ``tenant_workloads``.
+    tenants: int = 1
+    tenant_workloads: tuple[Workload, ...] = ()
     faults: tuple[FaultEvent, ...] = ()
 
     def __post_init__(self):
@@ -112,6 +116,16 @@ class Scenario:
             raise ValueError("n_files and epochs must be >= 1")
         if any(c >= self.n_nodes for c in self.workload.clients):
             raise ValueError("workload client outside the topology")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if len(self.tenant_workloads) != self.tenants - 1:
+            raise ValueError(
+                "need exactly tenants-1 tenant_workloads "
+                f"(got {len(self.tenant_workloads)} for {self.tenants} tenants)"
+            )
+        for wl in self.tenant_workloads:
+            if any(c >= self.n_nodes for c in wl.clients):
+                raise ValueError("tenant workload client outside the topology")
 
     # -- derived, deterministic views ----------------------------------
     def spec(self) -> ClusterSpec:
@@ -121,17 +135,29 @@ class Scenario:
             overrides.update(MEMBERSHIP_OVERRIDES)
         return TESTING.with_hvac(**overrides)
 
-    def files(self) -> list[tuple[str, int]]:
-        """The dataset: paths + sizes, derived from the scenario seed."""
+    def workload_of(self, tenant: int = 0) -> Workload:
+        """Tenant ``j``'s workload shape (tenant 0 runs ``workload``)."""
+        return self.workload if tenant == 0 else self.tenant_workloads[tenant - 1]
+
+    def files(self, tenant: int = 0) -> list[tuple[str, int]]:
+        """The dataset: paths + sizes, derived from the scenario seed.
+
+        Single-tenant scenarios keep the classic ``/pfs/fuzz/`` paths
+        (so existing fingerprints and case files replay unchanged);
+        multi-tenant ones namespace each tenant under ``/pfs/t<j>/`` —
+        the prefix :func:`repro.tenancy.tenant_of_path` attributes.
+        """
+        prefix = "/pfs/fuzz" if self.tenants == 1 else f"/pfs/t{tenant}/fuzz"
         if self.size_sigma > 0:
+            stream = "fuzz.sizes" if tenant == 0 else f"fuzz.sizes.t{tenant}"
             sizes = RandomStreams(self.seed).lognormal_sizes(
-                "fuzz.sizes", self.mean_file_size, self.size_sigma,
+                stream, self.mean_file_size, self.size_sigma,
                 self.n_files,
             )
             sizes = [int(s) for s in sizes]
         else:
             sizes = [self.mean_file_size] * self.n_files
-        return [(f"/pfs/fuzz/f{i:04d}", sizes[i]) for i in range(self.n_files)]
+        return [(f"{prefix}/f{i:04d}", sizes[i]) for i in range(self.n_files)]
 
     def schedule(self) -> FaultSchedule:
         return FaultSchedule(self.faults)
@@ -152,14 +178,15 @@ class Scenario:
                 t = max(t, ev.time)
         return t
 
-    def plans(self) -> dict[int, list[tuple[str, int]]]:
+    def plans(self, tenant: int = 0) -> dict[int, list[tuple[str, int]]]:
         """Per-client read plans for one measured epoch — pure data,
         derived only from scenario fields (replayed verbatim by the
         executor each epoch)."""
-        files = self.files()
+        files = self.files(tenant)
         n = len(files)
-        wl = self.workload
-        rand = RandomStreams(self.seed).child("fuzz.workload")
+        wl = self.workload_of(tenant)
+        child = "fuzz.workload" if tenant == 0 else f"fuzz.workload.t{tenant}"
+        rand = RandomStreams(self.seed).child(child)
         plans: dict[int, list[tuple[str, int]]] = {}
         for node in wl.clients:
             if wl.kind == "uniform" or wl.kind == "straggler":
@@ -186,6 +213,7 @@ class Scenario:
     def to_dict(self) -> dict:
         d = asdict(self)
         d["workload"] = asdict(self.workload)
+        d["tenant_workloads"] = [asdict(wl) for wl in self.tenant_workloads]
         d["faults"] = [asdict(ev) for ev in self.faults]
         for ev in d["faults"]:
             if ev["link"] is not None:
@@ -197,13 +225,23 @@ class Scenario:
         d = dict(d)
         wl = dict(d.pop("workload"))
         wl["clients"] = tuple(wl["clients"])
+        tenant_workloads = []
+        for twl in d.pop("tenant_workloads", ()):
+            twl = dict(twl)
+            twl["clients"] = tuple(twl["clients"])
+            tenant_workloads.append(Workload(**twl))
         faults = []
         for ev in d.pop("faults"):
             ev = dict(ev)
             if ev.get("link") is not None:
                 ev["link"] = tuple(ev["link"])
             faults.append(FaultEvent(**ev))
-        return cls(workload=Workload(**wl), faults=tuple(faults), **d)
+        return cls(
+            workload=Workload(**wl),
+            tenant_workloads=tuple(tenant_workloads),
+            faults=tuple(faults),
+            **d,
+        )
 
 
 def scenario_digest(scenario: Scenario) -> str:
@@ -265,6 +303,36 @@ class ScenarioGenerator:
             ),
         )
 
+        # Multi-tenant dimension: a minority of scenarios share the
+        # fleet between 2-4 tenants, each with its own workload draw
+        # (membership runs stay single-tenant — one dimension at a time).
+        n_tenants = 1
+        if not membership:
+            n_tenants = int(rand.choice("tenants", (1, 1, 2, 3, 4)))
+        tenant_workloads = []
+        for j in range(1, n_tenants):
+            tkind = str(rand.choice(f"t{j}.kind", WORKLOAD_KINDS))
+            tn = 1 + int(rand.stream(f"t{j}.clients").integers(n_nodes))
+            tclients = tuple(
+                sorted(int(c) for c in rand.shuffled(f"t{j}.which", n_nodes)[:tn])
+            )
+            tenant_workloads.append(Workload(
+                kind=tkind,
+                clients=tclients,
+                reads_per_client=4 + int(rand.stream(f"t{j}.reads").integers(13)),
+                hot_fraction=float(rand.uniform(f"t{j}.hot", 0.5, 0.9)),
+                hot_file=int(rand.stream(f"t{j}.hotfile").integers(n_files)),
+                stride=int(rand.choice(f"t{j}.stride", (1, 3, 7))),
+                straggler_delay=(
+                    float(rand.uniform(f"t{j}.lag", 0.001, 0.01))
+                    if tkind == "straggler" else 0.0
+                ),
+                think=(
+                    float(rand.uniform(f"t{j}.think", 0.0, 2e-4))
+                    if tkind == "straggler" else 0.0
+                ),
+            ))
+
         correlated = bool(rand.stream("correlated").integers(2))
         faults = FaultSchedule.random(
             n_nodes,
@@ -293,6 +361,8 @@ class ScenarioGenerator:
             mean_file_size=mean_size,
             size_sigma=sigma,
             workload=workload,
+            tenants=n_tenants,
+            tenant_workloads=tuple(tenant_workloads),
             faults=faults.events,
         )
 
@@ -307,3 +377,15 @@ def drop_client(scenario: Scenario, node: int) -> Scenario:
     """``scenario`` minus one reading client (shrinker move)."""
     clients = tuple(c for c in scenario.workload.clients if c != node)
     return replace(scenario, workload=replace(scenario.workload, clients=clients))
+
+
+def drop_tenant(scenario: Scenario) -> Scenario:
+    """``scenario`` minus its highest tenant (shrinker move; no-op on
+    single-tenant scenarios)."""
+    if scenario.tenants <= 1:
+        return scenario
+    return replace(
+        scenario,
+        tenants=scenario.tenants - 1,
+        tenant_workloads=scenario.tenant_workloads[:-1],
+    )

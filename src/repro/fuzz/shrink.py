@@ -4,9 +4,11 @@ Given a failing scenario and the invariant it broke, repeatedly try the
 smallest structural deletions —
 
 1. drop one fault at a time (to fixpoint),
-2. drop one reading client at a time (keeping at least one),
-3. drop tail files (halving first, then one at a time),
-4. collapse to a single measured epoch —
+2. drop the highest tenant at a time (down to a classic single-tenant
+   fleet, when the scenario has several),
+3. drop one reading client at a time (keeping at least one),
+4. drop tail files (halving first, then one at a time),
+5. collapse to a single measured epoch —
 
 re-running the executor + checker after each deletion and keeping the
 candidate only if the *same* invariant still fires.  Deletion order is
@@ -25,7 +27,13 @@ from dataclasses import dataclass, replace
 
 from .executor import execute
 from .invariants import InvariantConfig, InvariantReport
-from .scenario import Scenario, drop_client, drop_fault, scenario_digest
+from .scenario import (
+    Scenario,
+    drop_client,
+    drop_fault,
+    drop_tenant,
+    scenario_digest,
+)
 
 __all__ = ["ShrinkResult", "shrink"]
 
@@ -42,6 +50,7 @@ class ShrinkResult:
     report: InvariantReport
     checks: int = 0
     removed_faults: int = 0
+    removed_tenants: int = 0
     removed_clients: int = 0
     removed_files: int = 0
     removed_epochs: int = 0
@@ -127,7 +136,16 @@ def shrink(
                 changed = True
                 break
 
-    # 2: clients, one at a time, keeping at least one
+    # 2: tenants, highest first, down to a classic single-tenant fleet
+    while current.tenants > 1 and budget[0] > 0:
+        candidate = drop_tenant(current)
+        if reproduces(candidate):
+            current = candidate
+            result.removed_tenants += 1
+        else:
+            break
+
+    # 3: clients, one at a time, keeping at least one
     changed = True
     while changed and budget[0] > 0:
         changed = False
@@ -141,7 +159,7 @@ def shrink(
                 changed = True
                 break
 
-    # 3: files — halve the tail while it reproduces, then linear steps
+    # 4: files — halve the tail while it reproduces, then linear steps
     while current.n_files > 1 and budget[0] > 0:
         half = replace(current, n_files=max(1, current.n_files // 2))
         if reproduces(half):
@@ -158,7 +176,7 @@ def shrink(
             result.removed_files += 1
             changed = True
 
-    # 4: epochs
+    # 5: epochs
     if current.epochs > 1 and budget[0] > 0:
         candidate = replace(current, epochs=1)
         if reproduces(candidate):

@@ -96,6 +96,8 @@ class SLOReport:
     t1: float
     clients: dict[int, EntitySLO] = field(default_factory=dict)
     servers: dict[int, EntitySLO] = field(default_factory=dict)
+    #: per-tenant rollups (multi-tenant fleets only; empty otherwise)
+    tenants: dict[int, EntitySLO] = field(default_factory=dict)
     totals: EntitySLO = field(default_factory=lambda: EntitySLO("total"))
 
     def window_times(self) -> list[float]:
@@ -207,6 +209,7 @@ def compute_slo(
         horizon = origin + window
 
     by_client: dict[int, list] = {}
+    by_tenant: dict[int, list] = {}
     total_reads: list = []
     for s in client_reads:
         if not (origin <= s.t1 < horizon + 1e-12):
@@ -214,6 +217,9 @@ def compute_slo(
         latency, degraded, routed = _read_facts(s)
         fact = (s.t1, latency, degraded, routed)
         by_client.setdefault(int(s.attrs.get("client", -1)), []).append(fact)
+        tenant = s.attrs.get("tenant")
+        if tenant is not None:
+            by_tenant.setdefault(int(tenant), []).append(fact)
         total_reads.append(fact)
 
     by_server: dict[int, list] = {}
@@ -235,6 +241,10 @@ def compute_slo(
     for sid in sorted(by_server):
         report.servers[sid] = _aggregate(
             f"server {sid}", by_server[sid], origin, horizon, window
+        )
+    for tid in sorted(by_tenant):
+        report.tenants[tid] = _aggregate(
+            f"tenant {tid}", by_tenant[tid], origin, horizon, window
         )
     report.totals = _aggregate("total", total_reads, origin, horizon, window)
     return report

@@ -180,6 +180,7 @@ class RPCEndpoint:
         response_bytes: int = 0,
         timeout: Optional[float] = None,
         span: Optional[int] = None,
+        tenant: Optional[int] = None,
     ) -> Generator:
         """Invoke ``op`` on ``target``; yields until the response arrives.
 
@@ -190,17 +191,25 @@ class RPCEndpoint:
 
         ``span`` is an optional parent span id: with a recorder attached
         (:attr:`spans`) the call records an ``rpc.<op>`` child span whose
-        status distinguishes ok / timeout / error.  Telemetry is pure
-        list appends — it cannot perturb the event stream.
+        status distinguishes ok / timeout / error; ``tenant`` tags that
+        span for per-tenant attribution in multi-tenant fleets.
+        Telemetry is pure list appends — it cannot perturb the event
+        stream.
         """
         rec = self.spans
         sid = None
         t0 = self.env.now
         if rec is not None:
-            sid = rec.begin(
-                self._span_name(op), t0, span,
-                src=self.node_id, dst=target.node_id,
-            )
+            if tenant is None:
+                sid = rec.begin(
+                    self._span_name(op), t0, span,
+                    src=self.node_id, dst=target.node_id,
+                )
+            else:
+                sid = rec.begin(
+                    self._span_name(op), t0, span,
+                    src=self.node_id, dst=target.node_id, tenant=tenant,
+                )
         try:
             value = yield from self._call(
                 target, op, payload, payload_bytes, response_bytes, timeout

@@ -1,0 +1,47 @@
+"""Fleet-level multi-tenancy: one HVAC deployment, N independent jobs.
+
+The paper deploys HVAC per job — the cache lives and dies with one
+allocation.  This package asks the fleet question instead: what happens
+when several workloads (training sweeps, bursty inference/eval readers)
+*share* the node-local cache layer?  It provides
+
+* :class:`TenantSpec` / :func:`tenant_of_path` — tenant identity and the
+  ``/pfs/t<j>/`` namespace attribution (pure string parse, no metadata
+  service — the same hash-not-lookup spirit as HVAC's placement);
+* :class:`QuotaLedger` — fleet-wide per-tenant byte/file quotas, each
+  tenant's counters a named race-sanitizer cell ``tenancy.quota.t<j>``;
+* :class:`TenantCacheArbiter` — partition-vs-share cache policies
+  (``shared`` global LRU, ``dedicated`` slabs, ``weighted`` fair with
+  per-tenant watermarks) arbitrated inside each server's CacheManager;
+* :class:`AdmissionController` — reject / queue / degrade-to-PFS when
+  the fleet is saturated;
+* :class:`TenantFleet` — the wiring layer splitting per-job client
+  state from fleet-wide server state;
+* :func:`sample_jobs` / :func:`run_jobs` — the seeded job-arrival
+  process replaying a deterministic mix against the fleet.
+"""
+
+from .admission import ACTIONS, AdmissionController, AdmissionDecision
+from .arbiter import TENANCY_MODES, TenantCacheArbiter
+from .arrivals import JobArrival, JobRecord, job_plan, run_jobs, sample_jobs
+from .fleet import TenantFleet
+from .quota import QuotaLedger
+from .tenant import TENANT_KINDS, TenantSpec, tenant_of_path
+
+__all__ = [
+    "ACTIONS",
+    "AdmissionController",
+    "AdmissionDecision",
+    "JobArrival",
+    "JobRecord",
+    "QuotaLedger",
+    "TENANCY_MODES",
+    "TENANT_KINDS",
+    "TenantCacheArbiter",
+    "TenantFleet",
+    "TenantSpec",
+    "job_plan",
+    "run_jobs",
+    "sample_jobs",
+    "tenant_of_path",
+]

@@ -1,0 +1,109 @@
+"""Tenant identity, namespaces, and per-tenant workload shapes.
+
+A :class:`TenantSpec` is plain frozen data describing one workload
+("job") sharing the HVAC fleet: its identity and cache weight, its
+byte/file quotas, and the shape of the read traffic it generates —
+training jobs sweep their dataset in epochs, inference/eval jobs issue
+bursty hot-file reads with think-time pacing.
+
+Every tenant owns a PFS namespace prefix (``/pfs/t<j>/``), which is how
+fleet-side components (the cache arbiter, repair) attribute a path to a
+tenant without any metadata service — the same hash-not-lookup spirit
+as HVAC's placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TenantSpec", "tenant_of_path"]
+
+TENANT_KINDS = ("training", "inference")
+
+#: namespace prefix every tenant path starts with
+_NS_PREFIX = "/pfs/t"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One workload sharing the fleet (plain data, JSON-friendly)."""
+
+    tenant_id: int
+    #: display name; defaults to ``t<j>``
+    name: str = ""
+    #: ``training`` (epoch sweeps) or ``inference`` (bursty hot reads)
+    kind: str = "training"
+    #: weighted-fair cache share / dedicated slab sizing weight
+    weight: float = 1.0
+    #: fleet-wide cached-byte quota (None = unlimited)
+    quota_bytes: Optional[int] = None
+    #: fleet-wide cached-file quota (None = unlimited)
+    quota_files: Optional[int] = None
+    # -- workload shape -------------------------------------------------
+    n_files: int = 16
+    file_size: int = 25_000
+    #: reads per epoch (training) / per burst (inference)
+    reads: int = 16
+    #: epochs (training) / bursts (inference)
+    epochs: int = 1
+    #: per-read think time (inference pacing; 0 = back to back)
+    think: float = 0.0
+    #: ``inference``: fraction of reads hammering the hot file
+    hot_fraction: float = 0.8
+
+    def __post_init__(self):
+        if self.tenant_id < 0:
+            raise ValueError("tenant_id must be >= 0")
+        if self.kind not in TENANT_KINDS:
+            raise ValueError(f"unknown tenant kind {self.kind!r}")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.n_files < 1 or self.file_size < 1:
+            raise ValueError("n_files and file_size must be >= 1")
+        if self.reads < 1 or self.epochs < 1:
+            raise ValueError("reads and epochs must be >= 1")
+        if self.quota_bytes is not None and self.quota_bytes < 0:
+            raise ValueError("quota_bytes must be >= 0")
+        if self.quota_files is not None and self.quota_files < 0:
+            raise ValueError("quota_files must be >= 0")
+        if not (0.0 <= self.hot_fraction <= 1.0):
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.think < 0:
+            raise ValueError("think must be >= 0")
+
+    @property
+    def label(self) -> str:
+        return self.name or f"t{self.tenant_id}"
+
+    @property
+    def namespace(self) -> str:
+        """The tenant's PFS path prefix."""
+        return f"{_NS_PREFIX}{self.tenant_id}"
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.n_files * self.file_size
+
+    def files(self) -> list[tuple[str, int]]:
+        """The tenant's dataset: ``(path, size)`` under its namespace."""
+        ns = self.namespace
+        return [(f"{ns}/f{i:04d}", self.file_size) for i in range(self.n_files)]
+
+
+def tenant_of_path(path: str) -> Optional[int]:
+    """Tenant id a path belongs to, or None for non-tenant paths.
+
+    Pure string parse of the ``/pfs/t<j>/`` namespace prefix — no
+    metadata lookup, so the fleet side can attribute ownership of any
+    path (including striped ``#seg`` sub-paths) without coordination.
+    """
+    if not path.startswith(_NS_PREFIX):
+        return None
+    end = path.find("/", len(_NS_PREFIX))
+    if end < 0:
+        return None
+    digits = path[len(_NS_PREFIX):end]
+    if not digits.isdigit():
+        return None
+    return int(digits)

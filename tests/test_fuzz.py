@@ -23,7 +23,7 @@ from repro.fuzz import (
     scenario_digest,
     shrink,
 )
-from repro.fuzz.scenario import drop_client, drop_fault
+from repro.fuzz.scenario import drop_client, drop_fault, drop_tenant
 from repro.simcore import EventTrace, RandomStreams
 
 
@@ -196,6 +196,99 @@ class TestExecutor:
         report = check_observation(obs, InvariantConfig())
         assert "repair_convergence" not in report.violated
         assert obs.unconverged == []
+
+
+def multi_scenario(**kw) -> Scenario:
+    """A two-tenant variant of :func:`tiny_scenario`."""
+    defaults = dict(
+        seed=5,
+        n_nodes=3,
+        n_files=6,
+        mean_file_size=20_000,
+        workload=Workload(kind="uniform", clients=(0, 2), reads_per_client=6),
+        tenants=2,
+        tenant_workloads=(
+            Workload(kind="hotstorm", clients=(1,), reads_per_client=5),
+        ),
+    )
+    defaults.update(kw)
+    return Scenario(**defaults)
+
+
+class TestMultiTenant:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiny_scenario(tenants=2)  # missing tenant workloads
+        with pytest.raises(ValueError):
+            multi_scenario(tenant_workloads=(
+                Workload(kind="uniform", clients=(7,)),
+            ))  # tenant client outside the topology
+
+    def test_namespaces_split_per_tenant(self):
+        s = multi_scenario()
+        assert all(p.startswith("/pfs/t0/fuzz/") for p, _ in s.files(0))
+        assert all(p.startswith("/pfs/t1/fuzz/") for p, _ in s.files(1))
+        # single-tenant scenarios keep the exact pre-tenancy paths
+        assert all(p.startswith("/pfs/fuzz/") for p, _ in tiny_scenario().files())
+
+    def test_round_trip_and_old_case_dicts_still_load(self):
+        s = multi_scenario(size_sigma=0.4)
+        blob = json.dumps(s.to_dict(), sort_keys=True)
+        assert Scenario.from_dict(json.loads(blob)) == s
+        # a pre-tenancy case dict has neither key
+        d = tiny_scenario().to_dict()
+        d.pop("tenants", None)
+        d.pop("tenant_workloads", None)
+        assert Scenario.from_dict(d) == tiny_scenario()
+
+    def test_generator_draws_multi_tenant_scenarios(self):
+        gen = ScenarioGenerator(seed=7)
+        samples = [gen.sample(i) for i in range(40)]
+        multi = [s for s in samples if s.tenants > 1]
+        assert multi  # the dimension is actually exercised
+        for s in multi:
+            assert not s.membership  # one dimension at a time
+            assert len(s.tenant_workloads) == s.tenants - 1
+            for wl in s.tenant_workloads:
+                assert wl.kind in WORKLOAD_KINDS
+                assert all(0 <= c < s.n_nodes for c in wl.clients)
+            assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_executor_runs_all_tenants_deterministically(self):
+        s = multi_scenario()
+        one = execute(s, trace=EventTrace())
+        two = execute(s, trace=EventTrace())
+        assert one.fingerprint == two.fingerprint
+        assert not one.aborted
+        assert one.reads_planned == s.epochs * (2 * 6 + 1 * 5)
+        report = check_observation(
+            one, InvariantConfig(), second_fingerprint=two.fingerprint
+        )
+        assert report.ok
+        assert "tenant_isolation" in report.margins
+        assert 0.0 <= report.margins["tenant_isolation"] <= 1.0
+
+    def test_single_tenant_skips_isolation(self):
+        obs = execute(tiny_scenario(), trace=EventTrace())
+        report = check_observation(obs, InvariantConfig())
+        assert "tenant_isolation" in report.skipped
+
+    def test_drop_tenant_move(self):
+        s = multi_scenario()
+        d = drop_tenant(s)
+        assert d.tenants == 1 and d.tenant_workloads == ()
+        assert drop_tenant(d) == d
+
+    def test_shrinker_removes_an_irrelevant_tenant(self):
+        # a check that fires regardless of tenants: the extra tenant is
+        # not needed for the repro, so the shrinker must drop it
+        result = shrink(
+            multi_scenario(),
+            ("hung_read",),
+            check=lambda s: _report({}, violated=("hung_read",)),
+        )
+        assert result.removed_tenants == 1
+        assert result.shrunk.tenants == 1
 
 
 def _report(margins, violated=()):

@@ -218,6 +218,55 @@ class TestRepairConvergence:
         assert "repair_convergence" not in report.violated
 
 
+class TestTenantIsolation:
+    def _scenario(self, **kw):
+        return small_scenario(
+            tenants=2,
+            tenant_workloads=(
+                Workload(kind="hotstorm", clients=(1,), reads_per_client=5),
+            ),
+            **kw,
+        )
+
+    def test_cross_tenant_attribution_is_caught(self, monkeypatch):
+        # the bug: the fleet hands tenant 1's reads a client that
+        # accounts them to tenant 0 — every metric/SLO scope lies
+        orig = HVACDeployment.client
+
+        def mis_scoped(self, node_id, tenant=None):
+            cli = orig(self, node_id, tenant=tenant)
+            if tenant == 1:
+                cli.tenant = 0
+            return cli
+
+        monkeypatch.setattr(HVACDeployment, "client", mis_scoped)
+        report, _obs = run_and_check(self._scenario())
+        assert "tenant_isolation" in report.violated
+        assert report.margins["tenant_isolation"] == 0.0
+        assert any(
+            "owned by" in v.message
+            for v in report.violations
+            if v.invariant == "tenant_isolation"
+        )
+
+    def test_clean_multi_tenant_run_passes(self):
+        report, _obs = run_and_check(self._scenario())
+        assert "tenant_isolation" not in report.violated
+        assert report.margins["tenant_isolation"] > 0.0
+
+    def test_margin_narrows_when_a_fault_lands_on_one_tenant(self):
+        # a mid-epoch crash degrades whichever tenant sits on the dead
+        # node: not a violation, but the degraded-fraction spread must
+        # pull the margin below a fault-free run's
+        clean, _ = run_and_check(self._scenario())
+        faulted, _ = run_and_check(self._scenario(faults=(
+            FaultEvent(time=0.0, kind="crash", node=1, duration=0.03),
+        )))
+        assert "tenant_isolation" not in faulted.violated
+        assert (faulted.margins["tenant_isolation"]
+                <= clean.margins["tenant_isolation"])
+
+
 class TestShrinkAndReplayEndToEnd:
     """The lossy-routing bug through the whole pipeline: campaign ->
     violation -> shrink -> case file -> replay (library and CLI)."""

@@ -239,6 +239,89 @@ class TestRepairSpawnRegression:
         assert a.fingerprint == b.fingerprint
 
 
+class TestQuotaCellRegression:
+    """Per-tenant quota counters are sanitizer cells: an unsynchronized
+    same-timestamp update to one tenant's ledger must be caught, while
+    the real (causally ordered) charge/release paths stay clean."""
+
+    @staticmethod
+    def _ledger(env):
+        from repro.tenancy import QuotaLedger, TenantSpec
+
+        return QuotaLedger(env, [TenantSpec(tenant_id=0, quota_bytes=10_000)])
+
+    def test_unsynchronized_charges_race(self):
+        env, san = _sanitized_env()
+        ledger = self._ledger(env)
+
+        def mover(env):
+            yield env.timeout(1.0)
+            ledger.charge(0, 2_000)
+
+        env.process(mover(env), name="mover.s0")
+        env.process(mover(env), name="mover.s1")
+        env.run()
+        san.finish()
+        assert any(r.cell == "tenancy.quota.t0" for r in san.reports)
+        assert any(r.kind == "w/w" for r in san.reports)
+
+    def test_admission_read_racing_a_charge_is_caught(self):
+        env, san = _sanitized_env()
+        ledger = self._ledger(env)
+
+        def mover(env):
+            yield env.timeout(1.0)
+            ledger.charge(0, 2_000)
+
+        def admitter(env):
+            yield env.timeout(1.0)
+            ledger.would_exceed(0, 4_000)
+
+        env.process(mover(env), name="mover.s0")
+        env.process(admitter(env), name="admission")
+        env.run()
+        san.finish()
+        assert any(
+            r.cell == "tenancy.quota.t0" and r.kind in ("r/w", "w/r")
+            for r in san.reports
+        )
+
+    def test_sequenced_charge_and_release_are_clean(self):
+        env, san = _sanitized_env()
+        ledger = self._ledger(env)
+
+        def mover(env):
+            yield env.timeout(1.0)
+            ledger.charge(0, 2_000)
+            ledger.charge(0, 3_000)
+            yield env.timeout(1.0)
+            ledger.release(0, 2_000)
+
+        env.process(mover(env), name="mover.s0")
+        env.run()
+        san.finish()
+        assert san.reports == []
+        assert ledger.used_bytes(0) == 3_000 and ledger.used_files(0) == 1
+
+    def test_distinct_tenants_are_distinct_cells(self):
+        from repro.tenancy import QuotaLedger, TenantSpec
+
+        env, san = _sanitized_env()
+        ledger = QuotaLedger(
+            env, [TenantSpec(tenant_id=0), TenantSpec(tenant_id=1)]
+        )
+
+        def mover(env, tid):
+            yield env.timeout(1.0)
+            ledger.charge(tid, 1_000)
+
+        env.process(mover(env, 0), name="mover.s0")
+        env.process(mover(env, 1), name="mover.s1")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+
 class TestRunRaces:
     def test_clean_run_exits_zero_and_writes_marker(self, tmp_path, capsys):
         out = tmp_path / "races.txt"

@@ -70,6 +70,13 @@ BAD_FIXTURES = {
         "    for sid in live():\n"  # hash order crosses the return
         "        out.append(sid)\n"
     ),
+    "SIM014": (
+        "def live():\n"
+        "    yield from {3, 1}\n\n"  # unordered yield path
+        "def drain(out):\n"
+        "    for sid in live():\n"  # hash order flows down the yields
+        "        out.append(sid)\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -138,6 +145,13 @@ GOOD_FIXTURES = {
     "SIM013": (
         "def live():\n"
         "    return sorted({3, 1})\n\n"
+        "def drain(out):\n"
+        "    for sid in live():\n"
+        "        out.append(sid)\n"
+    ),
+    "SIM014": (
+        "def live():\n"
+        "    yield from sorted({3, 1})\n\n"
         "def drain(out):\n"
         "    for sid in live():\n"
         "        out.append(sid)\n"
@@ -475,6 +489,101 @@ class TestCrossModuleTaint:
             "    return {3, 1}\n\n"
             "def drain(out):\n"
             "    for sid in sorted(live()):\n"
+            "        out.append(sid)\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim014_fixture_files(self):
+        bad = lint_tree([os.path.join(FIXTURES, "sim014_bad.py")])
+        rules = [v.rule for v in bad.violations]
+        assert rules == ["SIM014"]
+        v = bad.violations[0]
+        # flagged at drain()'s loop, naming the delegating producer
+        assert "relay" in v.message and "yield" in v.message
+        good = lint_tree([os.path.join(FIXTURES, "sim014_good.py")])
+        assert good.violations == []
+
+    def test_sim014_waived_at_producer_is_sanctioned(self):
+        src = (
+            "def live():\n"
+            "    yield from {3, 1}  # simlint: waive SIM014 -- order rechecked downstream\n\n"
+            "def drain(out):\n"
+            "    for sid in live():\n"
+            "        out.append(sid)\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim014_order_preserving_wrappers_still_fire(self):
+        # at the consuming loop AND inside the delegation itself
+        src = (
+            "def live():\n"
+            "    yield from {3, 1}\n\n"
+            "def drain(out):\n"
+            "    for sid in list(live()):\n"
+            "        out.append(sid)\n"
+        )
+        assert "SIM014" in codes(src, scope="sim")
+        src = (
+            "def live():\n"
+            "    yield from list({3, 1})\n\n"
+            "def drain(out):\n"
+            "    for sid in live():\n"
+            "        out.append(sid)\n"
+        )
+        assert "SIM014" in codes(src, scope="sim")
+
+    def test_sim014_sorted_neutralizes_either_end(self):
+        src = (
+            "def live():\n"
+            "    yield from {3, 1}\n\n"
+            "def drain(out):\n"
+            "    for sid in sorted(live()):\n"
+            "        out.append(sid)\n"
+        )
+        assert codes(src, scope="sim") == []
+        src = (
+            "def live():\n"
+            "    yield from sorted({3, 1})\n\n"
+            "def drain(out):\n"
+            "    for sid in live():\n"
+            "        out.append(sid)\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim014_crosses_return_of_a_generator(self):
+        # ``return g()`` forwards the tainted generator verbatim
+        src = (
+            "def live():\n"
+            "    yield from {3, 1}\n\n"
+            "def pick():\n"
+            "    return live()\n\n"
+            "def drain(out):\n"
+            "    for sid in pick():\n"
+            "        out.append(sid)\n"
+        )
+        assert "SIM014" in codes(src, scope="sim")
+
+    def test_sim014_yield_from_an_unordered_returner(self):
+        # delegation to a plain function that *returns* a set
+        src = (
+            "def live():\n"
+            "    return {3, 1}\n\n"
+            "def relay():\n"
+            "    yield from live()\n\n"
+            "def drain(out):\n"
+            "    for sid in relay():\n"
+            "        out.append(sid)\n"
+        )
+        assert "SIM014" in codes(src, scope="sim")
+
+    def test_sim014_nested_def_keeps_yields_to_itself(self):
+        src = (
+            "def outer():\n"
+            "    def inner():\n"
+            "        yield from {3, 1}\n"
+            "    return sorted(inner())\n\n"
+            "def drain(out):\n"
+            "    for sid in outer():\n"
             "        out.append(sid)\n"
         )
         assert codes(src, scope="sim") == []
