@@ -98,6 +98,22 @@ def _tenancy(trace: EventTrace | None) -> None:
     )
 
 
+def _prefetch(trace: EventTrace | None) -> None:
+    from .experiments.prefetch import prefetch_comparison
+
+    # smoke-scale clairvoyant run (all three modes, crash leg on): the
+    # same contention regime the full scenario exercises, CI-sized
+    prefetch_comparison(
+        n_nodes=3,
+        n_files=96,
+        file_size=75_000,
+        epochs=3,
+        windows=8,
+        seed=0,
+        trace=trace,
+    )
+
+
 def _fuzz_single(trace: EventTrace | None) -> None:
     from .fuzz.executor import execute
     from .fuzz.scenario import ScenarioGenerator
@@ -139,6 +155,10 @@ SCENARIOS: dict[str, BenchScenario] = {
         BenchScenario(
             "tenancy", _tenancy,
             note="multi-tenant hot-storm isolation, all three cache modes",
+        ),
+        BenchScenario(
+            "prefetch", _prefetch,
+            note="clairvoyant prefetch comparison, all three modes + crash leg",
         ),
         BenchScenario(
             "fuzz_single", _fuzz_single, traced=True,

@@ -31,6 +31,9 @@ SIM013    iterating the result of a call whose callee (transitively)
 SIM014    iterating a generator that (transitively) ``yield from``-s an
           unordered container — taint carried down the yield path
           across delegation hops
+SIM015    ``set`` stored as an *element* of a list/dict/tuple and later
+          iterated at a sim-scope site — taint carried by container
+          elements, which name-based set tracking cannot see
 ========  ============================================================
 
 The rules are deliberately heuristic: they aim at the handful of
@@ -88,6 +91,10 @@ RULES: dict[str, str] = {
     "through every delegation hop, where the return-tracking pass "
     "cannot see it — yield from sorted(...) in the producer or sort at "
     "the call site — reported by the interprocedural taint pass",
+    "SIM015": "iterating a set stored as an element of a list/dict/tuple; "
+    "the outer container is ordered but its elements carry the unordered "
+    "taint, which name-based set tracking loses at the insertion — "
+    "iterate sorted(elem) or store ordered elements",
 }
 
 #: SIM001 targets (fully-qualified after import-alias resolution)
@@ -592,6 +599,200 @@ class _ClassSetVisitor(ast.NodeVisitor):
         return []
 
 
+def _is_set_expr(value: ast.expr | None) -> bool:
+    """Literal/constructor expressions that produce an unordered set."""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("set", "frozenset")
+    )
+
+
+def _container_with_set_elements(value: ast.expr | None) -> bool:
+    if isinstance(value, (ast.List, ast.Tuple)):
+        return any(_is_set_expr(e) for e in value.elts)
+    if isinstance(value, ast.Dict):
+        return any(v is not None and _is_set_expr(v) for v in value.values)
+    return False
+
+
+class _ElementSetVisitor(ast.NodeVisitor):
+    """SIM015: unordered taint carried by container *elements*.
+
+    The sequential tracker (SIM004) and its cross-method (SIM012),
+    cross-return (SIM013), and cross-yield (SIM014) extensions all
+    follow sets by the *name* they are bound to.  A set dropped into a
+    list or dict slot has no name: ``groups.append({a, b})`` launders
+    the taint through an ordered container, and the later
+    ``for g in groups: for x in g`` iterates hash order with every
+    name-based pass blind.  Two phases: collect every bare-name
+    container that ever holds a set-valued element (literal elements,
+    ``append``/``insert``/``setdefault``, keyed assignment), then flag
+    order-fixing iteration over those containers' *elements* — a loop
+    variable drawn from the container, or a direct subscript.
+    ``sorted(...)`` stays exempt, as everywhere in the linter.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.violations: list[Violation] = []
+        self._tainted: set[str] = set()
+        #: live element aliases (loop vars drawn from a tainted
+        #: container) -> the container they came from
+        self._aliases: dict[str, str] = {}
+
+    # -- phase 1 ------------------------------------------------------------
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and _container_with_set_elements(value)
+                    ):
+                        self._tainted.add(target.id)
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and _is_set_expr(value)
+                    ):
+                        self._tainted.add(target.value.id)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.args
+            ):
+                attr, args = node.func.attr, node.args
+                if (
+                    (attr == "append" and _is_set_expr(args[0]))
+                    or (attr == "insert" and len(args) >= 2
+                        and _is_set_expr(args[1]))
+                    or (attr == "setdefault" and len(args) >= 2
+                        and _is_set_expr(args[1]))
+                ):
+                    self._tainted.add(node.func.value.id)
+
+    # -- phase 2 ------------------------------------------------------------
+    def _element_source(self, expr: ast.expr) -> str | None:
+        """Container name if ``expr`` denotes a set-valued element."""
+        if isinstance(expr, ast.Name) and expr.id in self._aliases:
+            return self._aliases[expr.id]
+        if (
+            isinstance(expr, ast.Subscript)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in self._tainted
+        ):
+            return expr.value.id
+        return None
+
+    def _alias_targets(self, it: ast.expr) -> ast.expr | None:
+        """The loop-target expr that aliases elements of a tainted
+        container iterated by ``it`` (direct, ``.values()``, or the
+        value half of ``.items()``)."""
+        if isinstance(it, ast.Name) and it.id in self._tainted:
+            return it
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Attribute)
+            and isinstance(it.func.value, ast.Name)
+            and it.func.value.id in self._tainted
+            and it.func.attr in ("values", "items")
+        ):
+            return it
+        return None
+
+    @staticmethod
+    def _bound_alias(target: ast.expr, it: ast.expr) -> list[str]:
+        """Names the loop target binds to set-valued elements."""
+        values_only = not (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Attribute)
+            and it.func.attr == "items"
+        )
+        if isinstance(target, ast.Name):
+            return [target.id] if values_only else []
+        if isinstance(target, (ast.Tuple, ast.List)) and not values_only:
+            # for k, g in X.items(): the second name is the element
+            if len(target.elts) == 2 and isinstance(target.elts[1], ast.Name):
+                return [target.elts[1].id]
+        return []
+
+    def _container_of(self, it: ast.expr) -> str:
+        return (
+            it.id if isinstance(it, ast.Name) else it.func.value.id  # type: ignore[union-attr]
+        )
+
+    def _emit(self, node: ast.expr, container: str) -> None:
+        self.violations.append(
+            Violation(
+                "SIM015", self.path, node.lineno, node.col_offset,
+                RULES["SIM015"] + f" (element of {container!r})",
+            )
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        src = self._element_source(node.iter)
+        if src is not None:
+            self._emit(node.iter, src)
+        self.visit(node.iter)
+        added: dict[str, str] = {}
+        it = self._alias_targets(node.iter)
+        if it is not None:
+            container = self._container_of(it)
+            for name in self._bound_alias(node.target, it):
+                added[name] = container
+        saved = dict(self._aliases)
+        self._aliases.update(added)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+        self._aliases = saved
+
+    def _visit_comp(self, node) -> None:
+        saved = dict(self._aliases)
+        for gen in node.generators:
+            src = self._element_source(gen.iter)
+            if src is not None:
+                self._emit(gen.iter, src)
+            self.visit(gen.iter)
+            it = self._alias_targets(gen.iter)
+            if it is not None:
+                container = self._container_of(it)
+                for name in self._bound_alias(gen.target, it):
+                    self._aliases[name] = container
+            for cond in gen.ifs:
+                self.visit(cond)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self._aliases = saved
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ITER_CALLS
+            and node.args
+        ):
+            src = self._element_source(node.args[0])
+            if src is not None:
+                self._emit(node.args[0], src)
+        self.generic_visit(node)
+
+
 def collect_violations(
     tree: ast.AST,
     path: str,
@@ -624,5 +825,19 @@ def collect_violations(
         cls_visitor.visit(tree)
         violations.extend(
             v for v in cls_visitor.violations if (v.line, v.col) not in spots
+        )
+    if "SIM015" in active and scope == "sim":
+        # Same dedup contract as SIM012: a site the sequential tracker
+        # already reports keeps its SIM004.
+        spots = {(v.line, v.col) for v in violations if v.rule == "SIM004"}
+        if "SIM004" not in active:
+            aux = _SimVisitor(path, scope, {"SIM004"})
+            aux.visit(tree)
+            spots = {(v.line, v.col) for v in aux.violations}
+        elem_visitor = _ElementSetVisitor(path)
+        elem_visitor.collect(tree)
+        elem_visitor.visit(tree)
+        violations.extend(
+            v for v in elem_visitor.violations if (v.line, v.col) not in spots
         )
     return violations

@@ -29,6 +29,7 @@ from .experiments import (
     node_scaling_analytic,
     normalized_to_gpfs,
     overhead_vs_xfs,
+    prefetch_comparison,
     resilience_sweep,
     run_training,
     slo_scenario,
@@ -350,6 +351,36 @@ def cmd_tenancy(args: argparse.Namespace) -> int:
     return 0 if result.dominates() else 1
 
 
+def cmd_prefetch(args: argparse.Namespace) -> int:
+    if args.smoke:
+        args.nodes = min(args.nodes, 3)
+        args.files = min(args.files, 96)
+        args.epochs = min(args.epochs, 3)
+        args.windows = min(args.windows, 8)
+    result = prefetch_comparison(
+        n_nodes=args.nodes,
+        n_files=args.files,
+        file_size=args.file_size,
+        epochs=args.epochs,
+        windows=args.windows,
+        lookahead=args.lookahead,
+        outstanding=args.outstanding,
+        cache_fraction=args.cache_fraction,
+        compression_ratio=args.compression_ratio,
+        decompress_cost_per_byte=args.decompress_cost,
+        decompress_budget=args.decompress_budget,
+        fault=not args.no_fault,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.output_dir:
+        paths = result.write_artifacts(args.output_dir)
+        print()
+        for name, path in paths.items():
+            print(f"wrote {name}: {path}")
+    return 0 if result.dominates() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HVAC reproduction toolkit"
@@ -490,6 +521,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny fast run (CI artifact smoke test)")
     p.set_defaults(func=cmd_tenancy)
+
+    p = sub.add_parser(
+        "prefetch",
+        help="clairvoyant prefetch: reactive bulk vs look-ahead staging "
+        "vs compressed tier under contention + a mid-run crash (exit 0 "
+        "iff clairvoyant dominates reactive on epoch-1 time and steady "
+        "p99, and compression cuts PFS bytes within the CPU budget)",
+    )
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--files", type=int, default=128,
+                   help="dataset size (files); sized past the aggregate "
+                   "cache so the uncompressed modes thrash")
+    p.add_argument("--file-size", type=int, default=75_000)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--windows", type=int, default=12,
+                   help="SLO window count across the steady state")
+    p.add_argument("--lookahead", type=int, default=8,
+                   help="files staged ahead of each client's cursor")
+    p.add_argument("--outstanding", type=int, default=2,
+                   help="staged fetches in flight per server")
+    p.add_argument("--cache-fraction", type=float, default=0.21,
+                   help="per-node NVMe share given to the cache")
+    p.add_argument("--compression-ratio", type=float, default=0.45,
+                   help="stored/raw byte ratio of the compressed tier")
+    p.add_argument("--decompress-cost", type=float, default=2e-9,
+                   help="sim-seconds of decompression per raw byte on hit")
+    p.add_argument("--decompress-budget", type=float, default=1.0,
+                   help="max total decompression seconds for dominance")
+    p.add_argument("--no-fault", action="store_true",
+                   help="skip the mid-run crash/recover leg")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-dir", default="",
+                   help="also write report.txt + windows.log here")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fast run (CI artifact smoke test)")
+    p.set_defaults(func=cmd_prefetch)
 
     p = sub.add_parser(
         "fuzz",

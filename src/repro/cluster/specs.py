@@ -238,6 +238,23 @@ class HVACSpec:
     #: rpc_max_retries); segments give up early and count a
     #: ``client_seg_fallbacks`` instead of burning the full backoff walk
     segment_retry_budget: int = 0
+    # -- clairvoyant prefetch & compressed tier (§IV-C future work) -----
+    #: ``off`` = demand reads only; ``reactive`` = bulk pre-population
+    #: at job start (CachePrefetcher); ``clairvoyant`` = look-ahead
+    #: staging driven by the seeded per-epoch access plan (NoPFS-style)
+    prefetch_mode: str = "off"
+    #: files staged ahead of each client's plan cursor (clairvoyant)
+    prefetch_lookahead: int = 4
+    #: outstanding staged requests allowed per server at once — the
+    #: scheduler's per-server credit budget; demand reads never wait on
+    #: this, only staging does
+    prefetch_outstanding: int = 2
+    #: FanStore-style compressed residents: cache files at
+    #: ``compression_ratio`` × raw size and charge
+    #: ``decompress_cost_per_byte`` sim-seconds per *raw* byte on every
+    #: hit.  1.0 disables the tier (no extra events, byte-identical).
+    compression_ratio: float = 1.0
+    decompress_cost_per_byte: float = 0.0
 
     def __post_init__(self) -> None:
         if self.instances_per_node < 1:
@@ -270,6 +287,16 @@ class HVACSpec:
             raise ValueError("repair_bandwidth must be >= 0")
         if self.segment_retry_budget < 0:
             raise ValueError("segment_retry_budget must be >= 0")
+        if self.prefetch_mode not in ("off", "reactive", "clairvoyant"):
+            raise ValueError(f"unknown prefetch mode {self.prefetch_mode!r}")
+        if self.prefetch_lookahead < 1:
+            raise ValueError("prefetch_lookahead must be >= 1")
+        if self.prefetch_outstanding < 1:
+            raise ValueError("prefetch_outstanding must be >= 1")
+        if not 0 < self.compression_ratio <= 1:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if self.decompress_cost_per_byte < 0:
+            raise ValueError("decompress_cost_per_byte must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -165,7 +165,15 @@ def make_policy(name: str, rng: np.random.Generator) -> EvictionPolicy:
 
 
 class CacheManager:
-    """Byte-budgeted cache of whole files on one server's LocalFS slice."""
+    """Byte-budgeted cache of whole files on one server's LocalFS slice.
+
+    With ``compression_ratio < 1`` the cache becomes a FanStore-style
+    compressed tier: residents occupy ``ratio × raw`` bytes on the
+    device (and against quotas), and every hit pays a deterministic
+    ``decompress_cost_per_byte × raw`` sim-seconds of CPU before the
+    bytes are usable.  At the default ratio of 1.0 the tier is inert —
+    no extra events, byte-identical schedules.
+    """
 
     def __init__(
         self,
@@ -175,15 +183,24 @@ class CacheManager:
         policy: EvictionPolicy,
         metrics: MetricRegistry | None = None,
         name: str = "cache",
+        compression_ratio: float = 1.0,
+        decompress_cost_per_byte: float = 0.0,
     ):
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
+        if not 0 < compression_ratio <= 1:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if decompress_cost_per_byte < 0:
+            raise ValueError("decompress_cost_per_byte must be >= 0")
         self.env = env
         self.localfs = localfs
         self.capacity_bytes = capacity_bytes
         self.policy = policy
         self.metrics = metrics or MetricRegistry()
         self.name = name
+        self.compression_ratio = compression_ratio
+        self.decompress_cost_per_byte = decompress_cost_per_byte
+        self._compressed = compression_ratio < 1.0
         self._scope = self.metrics.scope(name)
         # Hoisted collectors: every hit/miss/evict bumps one of these on
         # the read path, so the per-op name lookups must not rebuild
@@ -194,8 +211,12 @@ class CacheManager:
         self._m_inserts = self._scope.counter("inserts")
         self._m_evictions = self._scope.counter("evictions")
         self._m_read_seconds = self._scope.tally("read_seconds")
+        self._m_decompress_seconds = self._scope.tally("decompress_seconds")
         self._sizes: dict[str, int] = {}
+        #: device-resident (possibly compressed) size per path
+        self._stored: dict[str, int] = {}
         self._used = 0
+        self._raw_used = 0
         #: optional :class:`~repro.tenancy.TenantCacheArbiter`; when set
         #: it owns admission and victim selection on the insert path
         self.arbiter = None
@@ -210,11 +231,21 @@ class CacheManager:
 
     @property
     def used_bytes(self) -> int:
+        """Device bytes occupied (compressed sizes when the tier is on)."""
         return self._used
+
+    @property
+    def raw_bytes(self) -> int:
+        """Uncompressed bytes the residents represent."""
+        return self._raw_used
 
     @property
     def n_files(self) -> int:
         return len(self._sizes)
+
+    def stored_size(self, path: str) -> int:
+        """Device-resident size of ``path`` (raises KeyError if absent)."""
+        return self._stored[path]
 
     def contents(self) -> list[tuple[str, int]]:
         """``(path, size)`` of every resident file, in sorted order —
@@ -244,7 +275,11 @@ class CacheManager:
         if path in self._sizes:
             self.touch(path)
             return True
-        if size > self.capacity_bytes:
+        # Everything below the index — capacity checks, victim budget,
+        # quota/slab admission, device accounting — sees the *stored*
+        # (compressed) size; only serving knows the raw one.
+        stored = max(1, int(size * self.compression_ratio)) if self._compressed else size
+        if stored > self.capacity_bytes:
             self._m_uncacheable.incr()
             return False
         arb = self.arbiter
@@ -252,14 +287,14 @@ class CacheManager:
             # The arbiter owns the whole decision: quota/slab admission
             # first, then mode-specific victim selection (it calls back
             # into _evict for each victim it picks).
-            if not arb.admit(tenant, path, size):
+            if not arb.admit(tenant, path, stored):
                 self._m_refused.incr()
                 return False
-            if not arb.make_room(tenant, path, size):
+            if not arb.make_room(tenant, path, stored):
                 self._m_refused.incr()
                 return False
         else:
-            while self._used + size > self.capacity_bytes:
+            while self._used + stored > self.capacity_bytes:
                 victim = self.policy.victim()
                 if victim is None:
                     self._m_refused.incr()
@@ -268,21 +303,25 @@ class CacheManager:
         # Bookkeeping happens eagerly, before the timed device write, so
         # the index and device accounting can never diverge (a purge or
         # failure mid-write still sees the reservation).
-        self.localfs.device.allocate(size)
+        self.localfs.device.allocate(stored)
         self._sizes[path] = size
-        self._used += size
+        self._stored[path] = stored
+        self._used += stored
+        self._raw_used += size
         self.policy.on_insert(path)
         if arb is not None:
-            arb.on_insert(tenant, path, size)
+            arb.on_insert(tenant, path, stored)
         self._m_inserts.incr()
-        yield from self.localfs.device.write(size)
+        yield from self.localfs.device.write(stored)
         return True
 
     def _evict(self, path: str) -> None:
         self.env.note_access(self._cell, "w")
         size = self._sizes.pop(path)
-        self._used -= size
-        self.localfs.device.release(size)
+        stored = self._stored.pop(path)
+        self._used -= stored
+        self._raw_used -= size
+        self.localfs.device.release(stored)
         self.policy.on_delete(path)
         if self.arbiter is not None:
             self.arbiter.on_evict(path)
@@ -311,6 +350,11 @@ class CacheManager:
         # No per-read open/close: the data mover keeps cache-file
         # descriptors open across requests (unlike the client-visible
         # XFS path, which pays the full <open, read, close> each time).
-        yield from self.localfs.device.read(size)
+        yield from self.localfs.device.read(self._stored[path])
+        if self._compressed:
+            cost = self.decompress_cost_per_byte * size
+            if cost > 0:
+                yield self.env.timeout(cost)
+            self._m_decompress_seconds.add(cost)
         self._m_read_seconds.add(self.env.now - t0)
         return size

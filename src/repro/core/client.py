@@ -98,6 +98,11 @@ class HVACClient(FileBackend):
         #: admission-controller degrade mode: route every read straight
         #: to the PFS, consuming zero fleet cache (per-job state)
         self.pfs_only = False
+        #: deployment client-table key (how schedules address this client)
+        self.client_key = node_id if tenant is None else (node_id, tenant)
+        #: optional :class:`~repro.prefetch.LookaheadScheduler` notified
+        #: of every intercepted read (advances the clairvoyant cursor)
+        self.prefetch_listener = None
         # Deployment-wide aggregate counters keep their historical names
         # (``hvac.client_hits`` …); the per-client scope shadows each of
         # them under ``hvac.c<node>.…`` for SLO attribution.  Tenant
@@ -245,6 +250,11 @@ class HVACClient(FileBackend):
         nbytes = min(nbytes, handle.size - handle.offset)
         if nbytes <= 0:
             return 0
+        listener = self.prefetch_listener
+        if listener is not None:
+            # Notify before any timed step so staging of the next-k
+            # window overlaps with this read's own service time.
+            listener.on_demand_read(self.client_key, handle.path)
         rec = self.spans
         root = None
         if rec is not None:

@@ -130,6 +130,9 @@ class HVACDeployment:
                     )
                 )
         self._clients: dict[int, HVACClient] = {}
+        #: optional :class:`~repro.prefetch.LookaheadScheduler` that new
+        #: clients subscribe to (see :meth:`attach_prefetch`)
+        self.prefetch_listener = None
 
         # -- membership & repair (optional) -------------------------------
         self.membership_enabled = hvac.membership_enabled
@@ -192,9 +195,18 @@ class HVACDeployment:
                 tenant=tenant,
             )
             self._clients[key] = cli
+            if self.prefetch_listener is not None:
+                cli.prefetch_listener = self.prefetch_listener
             if self.membership_enabled:
                 self._join_membership(cli, key)
         return cli
+
+    def attach_prefetch(self, scheduler) -> None:
+        """Wire a clairvoyant scheduler into every current and future
+        client's demand stream."""
+        self.prefetch_listener = scheduler
+        for key in sorted(self._clients, key=client_key_order):
+            self._clients[key].prefetch_listener = scheduler
 
     def _join_membership(self, cli: HVACClient, key=None) -> None:
         """Give a fresh client its view and gossip agent."""
@@ -257,6 +269,9 @@ class HVACDeployment:
     def recover_node(self, node_id: int) -> None:
         for server in self.servers_on_node(node_id):
             server.recover()
+            listener = self.prefetch_listener
+            if listener is not None:
+                listener.on_server_recover(server)
 
     def hang_node(self, node_id: int) -> None:
         """Wedge every server instance on a node (gray failure: requests

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional, Sequence
 
+from ..rpc import RPCError, RPCTimeout
 from ..simcore import AllOf, Environment, Event, Process
 from .deployment import HVACDeployment
 from .server import HVACServer, ReadRequest
@@ -82,9 +83,26 @@ class CachePrefetcher:
         self, server: HVACServer, files: list[tuple[str, int]]
     ) -> Generator:
         """Issue this server's homed files through its data-mover FIFO,
-        ``max_outstanding`` at a time."""
+        ``max_outstanding`` at a time (a sliding window, not batch
+        drain: the old drain-all-then-refill loop re-enqueued a full
+        wave at the completion instant, so a demand read landing at
+        that same instant was ordered behind it by heap-insertion
+        accident)."""
         outstanding: list[Event] = []
         for path, size in files:
+            if len(outstanding) >= self.max_outstanding:
+                try:
+                    yield outstanding.pop(0)
+                except (RPCError, RPCTimeout):
+                    # The server died mid-fetch; abandon its slice — a
+                    # prefetch has no caller to propagate into, and the
+                    # demand path degrades on its own.
+                    return
+                # Give up the turn before reusing the freed slot: any
+                # demand read dispatched at this instant reaches the
+                # FIFO ahead of the next prefetch put, making the
+                # ordering causal instead of accidental.
+                yield self.env.timeout(0.0)
             if not server.alive:
                 return
             if server.cache.contains(path):
@@ -99,8 +117,8 @@ class CachePrefetcher:
             outstanding.append(req.done)
             self.files_prefetched += 1
             self.bytes_prefetched += size
-            if len(outstanding) >= self.max_outstanding:
-                yield AllOf(self.env, outstanding)
-                outstanding = []
-        if outstanding:
-            yield AllOf(self.env, outstanding)
+        while outstanding:
+            try:
+                yield outstanding.pop(0)
+            except (RPCError, RPCTimeout):
+                return

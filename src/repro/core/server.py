@@ -116,6 +116,8 @@ class HVACServer:
             policy=make_policy(spec.hvac.eviction_policy, rand.stream("evict")),
             metrics=self.metrics,
             name=f"hvac{server_id}.cache",
+            compression_ratio=spec.hvac.compression_ratio,
+            decompress_cost_per_byte=spec.hvac.decompress_cost_per_byte,
         )
         # Per-request process names, built once: the mover spawns a
         # service/bulk/NVMe process per forwarded read, and rebuilding

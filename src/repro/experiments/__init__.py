@@ -37,6 +37,7 @@ from .scaling import (
     normalized_to_gpfs,
     overhead_vs_xfs,
 )
+from .prefetch import PREFETCH_MODES, PrefetchResult, prefetch_comparison
 from .slo_exp import SLOScenarioResult, slo_scenario
 from .tenancy import TenancyResult, tenancy_isolation
 
@@ -69,6 +70,9 @@ __all__ = [
     "overhead_vs_xfs",
     "per_epoch_analysis",
     "PerEpochResult",
+    "PREFETCH_MODES",
+    "prefetch_comparison",
+    "PrefetchResult",
     "generate_report",
     "repeat_training",
     "resolve_setup",

@@ -298,6 +298,22 @@ def execute(
     obs.reads_planned = scenario.epochs * sum(len(u.plan) for u in units)
     board = _Board(env, units)
 
+    sched = None
+    if scenario.prefetch:
+        from ..prefetch import ClairvoyantPlanner, LookaheadScheduler
+
+        # The full demand order each reader will issue: the warm pass
+        # over the dataset, then the measured epochs, then the recovery
+        # epoch.  A reader interrupted mid-epoch re-enters off-plan and
+        # simply freezes its window (divergence, not a fault).
+        plan_entries = {
+            u.key: tuple(u.files) + u.plan * (scenario.epochs + 1)
+            for u in units
+        }
+        sched = LookaheadScheduler(dep, ClairvoyantPlanner.from_plans(plan_entries))
+        dep.attach_prefetch(sched)
+        sched.start()
+
     def reader(unit, warmup=False):
         cli = dep.client(unit.node, tenant=unit.tenant)
         delay = 0.0 if warmup else unit.delay
@@ -422,6 +438,8 @@ def execute(
     }
     obs.detector_transitions = _detector_transitions(dep)
     obs.membership_transitions = _membership_transitions(dep)
+    if sched is not None:
+        sched.stop()
     dep.teardown()
 
     if obs.t_end > obs.t_fault and not obs.aborted:

@@ -107,6 +107,10 @@ class Scenario:
     #: Tenant 0 runs ``workload``; tenants 1..n-1 run ``tenant_workloads``.
     tenants: int = 1
     tenant_workloads: tuple[Workload, ...] = ()
+    #: clairvoyant-prefetch dimension: stage each reader's planned
+    #: accesses ahead of demand (False = classic reactive miss path;
+    #: case files saved before the field exists load with the default).
+    prefetch: bool = False
     faults: tuple[FaultEvent, ...] = ()
 
     def __post_init__(self):
@@ -333,6 +337,15 @@ class ScenarioGenerator:
                 ),
             ))
 
+        # Clairvoyant-prefetch dimension: a minority of single-tenant,
+        # non-membership scenarios stage planned reads ahead of demand
+        # (one dimension at a time, like tenancy).
+        prefetch = (
+            not membership
+            and n_tenants == 1
+            and int(rand.stream("prefetch").integers(3)) == 0
+        )
+
         correlated = bool(rand.stream("correlated").integers(2))
         faults = FaultSchedule.random(
             n_nodes,
@@ -363,6 +376,7 @@ class ScenarioGenerator:
             workload=workload,
             tenants=n_tenants,
             tenant_workloads=tuple(tenant_workloads),
+            prefetch=prefetch,
             faults=faults.events,
         )
 

@@ -21,6 +21,12 @@ Span conventions consumed here (produced by ``repro.core`` + ``rpc``):
   ``bytes:pfs``; ``degraded`` annotated when any retry/fallback occurred.
 * ``server.read`` — per forwarded request on the serving instance;
   ``attrs['server']``, ``attrs['bytes']``; ``hit`` annotation 0/1.
+
+Clairvoyant staging (:mod:`repro.prefetch`) emits **no spans of its
+own**: staged fetches ride the server FIFO below the RPC layer, so
+their effect shows up here only as demand reads turning into
+``bytes:local`` hits — which is what lets ``repro prefetch`` compare
+modes on identical window grids without changing the span schema.
 """
 
 from __future__ import annotations

@@ -1,0 +1,22 @@
+"""Clairvoyant prefetching (paper §IV-C future work, NoPFS-style).
+
+Given the shuffle seed, the entire per-epoch access order of every rank
+is known before the first read is issued (Clairvoyant Prefetching,
+PAPERS.md).  This package turns that knowledge into staged I/O:
+
+* :class:`ClairvoyantPlanner` materializes the full per-client access
+  schedule from the seeded :class:`~repro.dl.EpochPlan`;
+* :class:`LookaheadScheduler` stages exactly the next-``k`` files of
+  each client's schedule at their home servers, under a per-server
+  outstanding-request budget, deduping against the server in-flight
+  table so demand reads compose — and degrades to the reactive path
+  when faults invalidate the plan.
+
+The reactive baseline (bulk pre-population at job start) remains
+:class:`~repro.core.prefetch.CachePrefetcher`.
+"""
+
+from .planner import ClairvoyantPlanner, ClientSchedule
+from .scheduler import LookaheadScheduler
+
+__all__ = ["ClairvoyantPlanner", "ClientSchedule", "LookaheadScheduler"]

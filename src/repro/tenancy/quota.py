@@ -9,6 +9,12 @@ named cell, ``tenancy.quota.t<j>`` (the byte budget couples the two:
 an admission check reads both), noted on every read and write so
 ``--races`` catches any refactor that lets two same-timestamp events
 touch one tenant's quota without a causal order.
+
+Quotas meter *device residency*, not raw data: under a compressed
+cache tier (``compression_ratio < 1``, see
+:class:`~repro.core.CacheManager`) the insert path charges the stored
+(compressed) size, so a tenant's quota buys proportionally more raw
+bytes — the same accounting the arbiter's slab/watermark math uses.
 """
 
 from __future__ import annotations

@@ -1,0 +1,19 @@
+"""SIM015 fixture: a set laundered through a list element.
+
+``groups`` is an ordered list, so every name-based set pass (SIM004,
+and the cross-method/return/yield extensions) sees nothing wrong —
+but each *element* is a set, and the inner loop iterates it in hash
+order at a sim-scope site.
+"""
+
+groups = []
+
+
+def enroll(a, b):
+    groups.append({a, b})
+
+
+def flush(env):
+    for g in groups:
+        for waiter in g:
+            env.process(waiter)

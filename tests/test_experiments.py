@@ -213,3 +213,36 @@ class TestFig15:
     def test_render(self):
         res = load_balance([4], n_files=5_000)
         assert "Fig 15" in res.render()
+
+
+class TestPrefetchExperiment:
+    TINY = dict(n_nodes=2, n_files=48, file_size=40_000, epochs=2, windows=4)
+
+    def test_runs_all_three_modes(self):
+        from repro.experiments import PREFETCH_MODES, prefetch_comparison
+
+        res = prefetch_comparison(**self.TINY)
+        assert tuple(res.outcomes) == PREFETCH_MODES
+        for oc in res.outcomes.values():
+            assert oc.epoch1_seconds > 0
+            assert oc.pfs_bytes > 0
+        # The compressed tier alone pays decompression CPU.
+        assert res.outcomes["clairvoyant"].decompress_seconds == 0.0
+        assert res.outcomes["clairvoyant+compressed"].decompress_seconds > 0.0
+
+    def test_same_seed_reruns_are_identical(self):
+        """The acceptance bar: identical report *and* window logs."""
+        from repro.experiments import prefetch_comparison
+
+        a = prefetch_comparison(**self.TINY, seed=0)
+        b = prefetch_comparison(**self.TINY, seed=0)
+        assert a.window_log() == b.window_log()
+        assert a.render() == b.render()
+
+    def test_full_defaults_dominate(self):
+        """`repro prefetch` exits 0 iff this predicate holds — pinned
+        here at the CLI's own default scale."""
+        from repro.experiments import prefetch_comparison
+
+        res = prefetch_comparison()
+        assert res.dominates(), res.render()

@@ -322,6 +322,122 @@ class TestQuotaCellRegression:
         assert san.reports == []
 
 
+class TestPrefetchCellRegression:
+    """Each server's staging queue head + credit pool is one sanitizer
+    cell (``prefetch.queue.s<id>``), written only by that server's
+    worker process.  An unsynchronized caller touching the credit
+    accounting must be caught, while a real clairvoyant run stays
+    sanitizer-clean with an unchanged fingerprint."""
+
+    @staticmethod
+    def _fixture(env):
+        from repro.cluster import TESTING, Allocation
+        from repro.core import HVACDeployment
+        from repro.prefetch import ClairvoyantPlanner, LookaheadScheduler
+        from repro.storage import GPFS
+
+        spec = TESTING
+        alloc = Allocation(env, spec, n_nodes=2)
+        pfs = GPFS(env, spec.pfs, 2, spec.network.nic_bandwidth)
+        dep = HVACDeployment(alloc, pfs, seed=0)
+        files = [(f"/pfs/races/f{i:02d}", 4_000) for i in range(12)]
+        plans = {
+            n: [files[(i + 5 * n) % len(files)] for i in range(len(files))]
+            for n in range(2)
+        }
+        planner = ClairvoyantPlanner.from_plans(plans)
+        sched = LookaheadScheduler(dep, planner, lookahead=4, outstanding=2)
+        return dep, sched, plans
+
+    def test_unsynchronized_credit_updates_race(self):
+        env, san = _sanitized_env()
+        _dep, sched, _plans = self._fixture(env)
+        sid = next(iter(sched._cells))
+
+        def taker(env):
+            yield env.timeout(1.0)
+            sched._take_credit(sid)
+
+        env.process(taker(env), name="taker.a")
+        env.process(taker(env), name="taker.b")
+        env.run()
+        san.finish()
+        assert any(r.cell == f"prefetch.queue.s{sid}" for r in san.reports)
+        assert any(r.kind == "w/w" for r in san.reports)
+
+    def test_sequenced_credit_cycle_is_clean(self):
+        env, san = _sanitized_env()
+        _dep, sched, _plans = self._fixture(env)
+        sid = next(iter(sched._cells))
+
+        def cycler(env):
+            yield env.timeout(1.0)
+            sched._take_credit(sid)
+            sched._release_credit(sid)
+            yield env.timeout(1.0)
+            sched._take_credit(sid)
+
+        env.process(cycler(env), name="cycler")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def test_distinct_servers_are_distinct_cells(self):
+        env, san = _sanitized_env()
+        _dep, sched, _plans = self._fixture(env)
+        sids = list(sched._cells)
+        assert len(sids) >= 2, "fixture must spread the plan over servers"
+
+        def taker(env, sid):
+            yield env.timeout(1.0)
+            sched._take_credit(sid)
+
+        for sid in sids[:2]:
+            env.process(taker(env, sid), name=f"taker.s{sid}")
+        env.run()
+        san.finish()
+        assert san.reports == []
+
+    def _run_clairvoyant(self, sanitizer=None, trace=None):
+        env = Environment()
+        if trace is not None:
+            env.attach_trace(trace)
+        if sanitizer is not None:
+            env.attach_sanitizer(sanitizer)
+        dep, sched, plans = self._fixture(env)
+        dep.attach_prefetch(sched)
+        sched.start()
+
+        def reader(env, node):
+            cli = dep.client(node)
+            for path, size in plans[node]:
+                yield from cli.read_file(path, size, node)
+
+        for n in sorted(plans):
+            env.process(reader(env, n), name=f"reader.n{n}")
+        env.run()
+        sched.stop()
+        if sanitizer is not None:
+            sanitizer.finish()
+        return sched
+
+    def test_real_staging_run_is_sanitizer_clean(self):
+        san = RaceSanitizer()
+        sched = self._run_clairvoyant(sanitizer=san)
+        assert sched.files_staged > 0, "fixture must actually stage files"
+        assert san.reports == [], "\n\n".join(
+            r.describe() for r in san.reports
+        )
+
+    def test_sanitizer_leaves_prefetch_fingerprint_unchanged(self):
+        plain = EventTrace()
+        self._run_clairvoyant(trace=plain)
+        sanitized = EventTrace()
+        self._run_clairvoyant(sanitizer=RaceSanitizer(), trace=sanitized)
+        assert plain.count == sanitized.count
+        assert plain.fingerprint == sanitized.fingerprint
+
+
 class TestRunRaces:
     def test_clean_run_exits_zero_and_writes_marker(self, tmp_path, capsys):
         out = tmp_path / "races.txt"

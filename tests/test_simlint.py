@@ -77,6 +77,15 @@ BAD_FIXTURES = {
         "    for sid in live():\n"  # hash order flows down the yields
         "        out.append(sid)\n"
     ),
+    "SIM015": (
+        "groups = []\n\n"
+        "def enroll(a, b):\n"
+        "    groups.append({a, b})\n\n"  # set laundered into a list slot
+        "def flush(out):\n"
+        "    for g in groups:\n"
+        "        for x in g:\n"  # element iterated in hash order
+        "            out.append(x)\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -155,6 +164,15 @@ GOOD_FIXTURES = {
         "def drain(out):\n"
         "    for sid in live():\n"
         "        out.append(sid)\n"
+    ),
+    "SIM015": (
+        "groups = []\n\n"
+        "def enroll(a, b):\n"
+        "    groups.append({a, b})\n\n"
+        "def flush(out):\n"
+        "    for g in groups:\n"
+        "        for x in sorted(g):\n"
+        "            out.append(x)\n"
     ),
 }
 
@@ -585,6 +603,52 @@ class TestCrossModuleTaint:
             "def drain(out):\n"
             "    for sid in outer():\n"
             "        out.append(sid)\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim015_fixture_files(self):
+        bad = lint_tree([os.path.join(FIXTURES, "sim015_bad.py")])
+        rules = [v.rule for v in bad.violations]
+        assert rules == ["SIM015"]
+        assert bad.violations[0].line == 18
+        assert "groups" in bad.violations[0].message
+        good = lint_tree([os.path.join(FIXTURES, "sim015_good.py")])
+        assert good.violations == []
+
+    def test_sim015_dict_values_items_and_subscript(self):
+        # a dict whose values are sets taints ``.values()``, ``.items()``
+        # pairs, and direct subscripts alike
+        src = (
+            "table = {}\n"
+            "def put(k, a, b):\n"
+            "    table[k] = {a, b}\n\n"
+            "def drain(env):\n"
+            "    for grp in table.values():\n"
+            "        for w in grp:\n"
+            "            env.process(w)\n"
+            "    for _k, grp in table.items():\n"
+            "        env.process(list(grp))\n"
+            "    env.process(max(table[0]))\n"
+        )
+        lines = sorted(v.line for v in lint_source(src, scope="sim"))
+        assert lines == [7, 10, 11]
+
+    def test_sim015_sorted_element_is_exempt(self):
+        src = (
+            "groups = [{1, 2}]\n"
+            "def drain(env):\n"
+            "    order = [w for g in groups for w in sorted(g)]\n"
+            "    env.process(order)\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim015_waiver(self):
+        src = (
+            "groups = [{1, 2}]\n"
+            "def drain(env):\n"
+            "    for g in groups:\n"
+            "        for w in g:  # simlint: waive SIM015 -- singleton sets\n"
+            "            env.process(w)\n"
         )
         assert codes(src, scope="sim") == []
 
