@@ -10,6 +10,12 @@ Three layers, all runnable from the CLI and from tests:
   primitives through helpers and across modules, reporting SIM011 at
   the sim-scope call site with the full source→sink chain
   (``repro check --taint``).
+* **Static, whole-program**: a shared-state audit (:mod:`.cells`,
+  :mod:`.cell_registry`) that walks the call graph from every
+  process-spawn root, finds attribute writes reachable from two or
+  more concurrent roots, and diffs them against the declared
+  race-sanitizer cell inventory — proving the runtime sanitizer sees
+  every shared mutable cell (``repro check --cells``).
 * **Runtime**: event-stream fingerprinting
   (:class:`repro.simcore.EventTrace`) plus a double-run comparison
   that, on divergence, bisects to the first divergent kernel event
@@ -40,19 +46,27 @@ from .perf import (
     perf_lint_source,
     perf_lint_tree,
 )
+from .cells import RACE_RULES, CellAudit, audit_source, audit_tree
+from .cell_registry import DECLARED_CELLS, CellDecl, registry_freshness
 from .races import RaceReport, RaceSanitizer
 from .rules import RULES, Violation
 
 __all__ = [
+    "DECLARED_CELLS",
     "PERF_RULES",
+    "RACE_RULES",
     "RULES",
     "Violation",
+    "CellAudit",
+    "CellDecl",
     "DivergenceReport",
     "PerfLint",
     "RaceReport",
     "RaceSanitizer",
     "StaleWaiver",
     "TreeLint",
+    "audit_source",
+    "audit_tree",
     "find_first_divergence",
     "fingerprint_run",
     "lint_file",
@@ -62,10 +76,13 @@ __all__ = [
     "perf_lint_files",
     "perf_lint_source",
     "perf_lint_tree",
+    "registry_freshness",
     "scope_of",
     "default_lint_roots",
     "run_lint",
     "run_perf",
+    "run_cells",
+    "run_cells_freshness",
     "run_determinism",
     "run_races",
     "run_check",
@@ -118,6 +135,61 @@ def run_perf(paths: list[str] | None = None, verbose: bool = True) -> int:
         hot = "all functions hot" if result.all_hot else f"{result.n_hot} hot function(s)"
         print(f"perf: {result.n_files} file(s) checked, {hot}, {status}")
     return 0 if result.clean else 1
+
+
+def run_cells(
+    paths: list[str] | None = None,
+    output: str | None = None,
+    verbose: bool = True,
+) -> int:
+    """Run the shared-state audit; print findings; return exit code."""
+    roots = paths or default_lint_roots()
+    result = audit_tree(roots)
+    lines = [v.render() for v in result.violations]
+    lines += [w.render() for w in result.stale_waivers]
+    for line in lines:
+        print(line)
+    if output:
+        os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+        with open(output, "w", encoding="utf-8") as fh:
+            if lines:
+                fh.write("\n".join(lines) + "\n")
+            else:
+                fh.write(
+                    f"cells: clean — {result.n_files} file(s), "
+                    f"{result.n_roots} root(s), {result.n_writes} write(s)\n"
+                )
+    if verbose:
+        bits = []
+        if result.violations:
+            bits.append(f"{len(result.violations)} violation(s)")
+        if result.stale_waivers:
+            bits.append(f"{len(result.stale_waivers)} stale waiver(s)")
+        status = ", ".join(bits) if bits else "clean"
+        print(
+            f"cells: {result.n_files} file(s), {result.n_roots} "
+            f"concurrency root(s), {result.n_writes} write site(s), {status}"
+        )
+    return 0 if result.clean else 1
+
+
+def run_cells_freshness(
+    paths: list[str] | None = None, verbose: bool = True
+) -> int:
+    """Check registry drift only: every in-tree ``note_access`` family
+    must resolve to a declared cell template.  Separate from the audit
+    gate so CI can pinpoint 'you added a cell but not its declaration'."""
+    roots = paths or default_lint_roots()
+    result = audit_tree(roots)
+    for line in result.freshness:
+        print(line)
+    if verbose:
+        status = (
+            "fresh" if not result.freshness
+            else f"{len(result.freshness)} drift error(s)"
+        )
+        print(f"cells-registry: {result.n_files} file(s), {status}")
+    return 1 if result.freshness else 0
 
 
 def _epochs_run(seed: int, n_nodes: int, files_per_rank: int):
@@ -227,17 +299,27 @@ def run_check(
     races: bool = False,
     races_output: str | None = None,
     perf: bool = False,
+    cells: bool = False,
+    cells_only: bool = False,
+    cells_freshness_only: bool = False,
+    cells_output: str | None = None,
 ) -> int:
     """The full ``repro check``: lint (+taint), optionally the hot-path
-    analyzer (``--perf``), the double-run comparison, and optionally the
-    sim-time race sanitizer."""
+    analyzer (``--perf``), the shared-state audit (``--cells``), the
+    double-run comparison, and optionally the sim-time race sanitizer."""
     rc = 0
     if races_only:
         return run_races(seed=seed, output=races_output)
+    if cells_only:
+        return run_cells(paths, output=cells_output)
+    if cells_freshness_only:
+        return run_cells_freshness(paths)
     if not determinism_only:
         rc |= run_lint(paths, taint=taint)
         if perf:
             rc |= run_perf(paths)
+        if cells:
+            rc |= run_cells(paths, output=cells_output)
     if not lint_only:
         rc |= run_determinism(
             seed=seed,

@@ -34,6 +34,10 @@ SIM014    iterating a generator that (transitively) ``yield from``-s an
 SIM015    ``set`` stored as an *element* of a list/dict/tuple and later
           iterated at a sim-scope site — taint carried by container
           elements, which name-based set tracking cannot see
+SIM016    ``set`` carried in a dataclass/namedtuple *field* and later
+          iterated through the record — taint laundered through typed
+          record attributes (field annotations, construction-site
+          arguments, positional unpacking)
 ========  ============================================================
 
 The rules are deliberately heuristic: they aim at the handful of
@@ -95,6 +99,10 @@ RULES: dict[str, str] = {
     "the outer container is ordered but its elements carry the unordered "
     "taint, which name-based set tracking loses at the insertion — "
     "iterate sorted(elem) or store ordered elements",
+    "SIM016": "iterating a set carried in a dataclass/namedtuple field; "
+    "the record is ordered but the field value is not, and name-based "
+    "set tracking loses the taint at construction — iterate "
+    "sorted(rec.field) or store an ordered field",
 }
 
 #: SIM001 targets (fully-qualified after import-alias resolution)
@@ -793,6 +801,253 @@ class _ElementSetVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+#: annotation heads that denote an unordered set type
+_SET_ANNOTATIONS = (
+    "set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet",
+)
+
+
+def _is_set_annotation(ann: ast.expr | None) -> bool:
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Name):
+        return ann.id in _SET_ANNOTATIONS
+    if isinstance(ann, ast.Attribute):
+        return ann.attr in _SET_ANNOTATIONS
+    if isinstance(ann, ast.Subscript):
+        return _is_set_annotation(ann.value)
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        head = ann.value.split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+    return False
+
+
+def _decorator_name(dec: ast.expr) -> str | None:
+    if isinstance(dec, ast.Call):
+        dec = dec.func
+    if isinstance(dec, ast.Name):
+        return dec.id
+    if isinstance(dec, ast.Attribute):
+        return dec.attr
+    return None
+
+
+class _RecordSetVisitor(ast.NodeVisitor):
+    """SIM016: unordered taint carried by dataclass/namedtuple *fields*.
+
+    Records launder set taint the same way container elements do
+    (SIM015), but through a typed attribute instead of an index:
+    ``Unit(paths={a, b})`` drops the set into ``unit.paths``, and the
+    later ``for p in unit.paths`` iterates hash order with every
+    name-based pass blind.  Two phases: collect the record classes
+    (``@dataclass``-decorated, ``NamedTuple`` subclasses,
+    ``collections.namedtuple`` factories) and which of their fields are
+    set-valued — from field annotations, ``field(default_factory=set)``
+    defaults, and set-expression construction arguments — then flag
+    order-fixing iteration over ``instance.field`` (or over a bare name
+    the field was unpacked/aliased into).  ``sorted(...)`` stays
+    exempt, as everywhere in the linter.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.violations: list[Violation] = []
+        #: record class -> field names in declaration order
+        self._fields: dict[str, list[str]] = {}
+        #: record class -> the set-valued subset
+        self._set_fields: dict[str, set[str]] = {}
+        #: bare variable -> record class it holds an instance of
+        self._instances: dict[str, str] = {}
+        #: bare names a set-valued field was unpacked or aliased into
+        self._unpacked: set[str] = set()
+
+    # -- phase 1 ------------------------------------------------------------
+    def collect(self, tree: ast.AST) -> None:
+        # Record classes first (a construction site may lexically
+        # precede the class definition it instantiates).
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                self._collect_class(node)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                self._collect_namedtuple(node)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._collect_binding(node)
+            elif isinstance(node, ast.Call):
+                # construction sites taint fields wherever they appear
+                # (returns, nested calls), not just in assignments
+                self._record_call(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                a = node.args
+                for arg in a.posonlyargs + a.args + a.kwonlyargs:
+                    if (
+                        isinstance(arg.annotation, ast.Name)
+                        and arg.annotation.id in self._fields
+                    ):
+                        self._instances[arg.arg] = arg.annotation.id
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        is_record = any(
+            _decorator_name(d) == "dataclass" for d in node.decorator_list
+        ) or any(
+            (isinstance(b, ast.Name) and b.id == "NamedTuple")
+            or (isinstance(b, ast.Attribute) and b.attr == "NamedTuple")
+            for b in node.bases
+        )
+        if not is_record:
+            return
+        fields: list[str] = []
+        tainted: set[str] = set()
+        for stmt in node.body:
+            if not (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ):
+                continue
+            name = stmt.target.id
+            fields.append(name)
+            if _is_set_annotation(stmt.annotation) or _is_set_expr(stmt.value):
+                tainted.add(name)
+            elif (
+                isinstance(stmt.value, ast.Call)
+                and _decorator_name(stmt.value.func) == "field"
+            ):
+                for kw in stmt.value.keywords:
+                    if (
+                        kw.arg == "default_factory"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in ("set", "frozenset")
+                    ):
+                        tainted.add(name)
+        self._fields[node.name] = fields
+        self._set_fields[node.name] = tainted
+
+    def _collect_namedtuple(self, node: ast.Assign) -> None:
+        target, value = node.targets[0], node.value
+        if not (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.Call)
+            and _decorator_name(value.func) == "namedtuple"
+            and len(value.args) >= 2
+        ):
+            return
+        spec = value.args[1]
+        fields: list[str] = []
+        if isinstance(spec, ast.Constant) and isinstance(spec.value, str):
+            fields = spec.value.replace(",", " ").split()
+        elif isinstance(spec, (ast.List, ast.Tuple)):
+            fields = [
+                e.value
+                for e in spec.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            ]
+        self._fields[target.id] = fields
+        self._set_fields[target.id] = set()
+
+    def _record_call(self, value: ast.expr) -> str | None:
+        """Record class name if ``value`` constructs a known record,
+        folding any set-expression arguments into its tainted fields."""
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in self._fields
+        ):
+            return None
+        klass = value.func.id
+        fields = self._fields[klass]
+        for i, arg in enumerate(value.args):
+            if i < len(fields) and _is_set_expr(arg):
+                self._set_fields[klass].add(fields[i])
+        for kw in value.keywords:
+            if kw.arg in fields and _is_set_expr(kw.value):
+                self._set_fields[klass].add(kw.arg)
+        return klass
+
+    def _collect_binding(self, node: ast.Assign | ast.AnnAssign) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        value = node.value
+        klass = self._record_call(value) if value is not None else None
+        if (
+            klass is None
+            and isinstance(node, ast.AnnAssign)
+            and isinstance(node.annotation, ast.Name)
+            and node.annotation.id in self._fields
+        ):
+            klass = node.annotation.id
+        if klass is None and isinstance(value, ast.Name):
+            klass = self._instances.get(value.id)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if klass is not None:
+                    self._instances[target.id] = klass
+                elif value is not None and self._field_source(value):
+                    # alias: s = rec.paths carries the taint to a name
+                    self._unpacked.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)) and klass is not None:
+                # positional unpack: names at set-valued field slots
+                fields = self._fields[klass]
+                tainted = self._set_fields[klass]
+                for i, elt in enumerate(target.elts):
+                    if (
+                        isinstance(elt, ast.Name)
+                        and i < len(fields)
+                        and fields[i] in tainted
+                    ):
+                        self._unpacked.add(elt.id)
+
+    # -- phase 2 ------------------------------------------------------------
+    def _field_source(self, expr: ast.expr) -> str | None:
+        """Human label if ``expr`` denotes a set-valued record field."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+        ):
+            klass = self._instances.get(expr.value.id)
+            if klass is not None and expr.attr in self._set_fields[klass]:
+                return f"{klass}.{expr.attr}"
+        if isinstance(expr, ast.Name) and expr.id in self._unpacked:
+            return f"unpacked {expr.id!r}"
+        return None
+
+    def _emit(self, node: ast.expr, source: str) -> None:
+        self.violations.append(
+            Violation(
+                "SIM016", self.path, node.lineno, node.col_offset,
+                RULES["SIM016"] + f" ({source})",
+            )
+        )
+
+    def _check_iter(self, it: ast.expr) -> None:
+        source = self._field_source(it)
+        if source is not None:
+            self._emit(it, source)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ITER_CALLS
+            and node.args
+        ):
+            self._check_iter(node.args[0])
+        self.generic_visit(node)
+
+
 def collect_violations(
     tree: ast.AST,
     path: str,
@@ -839,5 +1094,19 @@ def collect_violations(
         elem_visitor.visit(tree)
         violations.extend(
             v for v in elem_visitor.violations if (v.line, v.col) not in spots
+        )
+    if "SIM016" in active and scope == "sim":
+        # Same dedup contract as SIM012/SIM015: a site the sequential
+        # tracker already reports keeps its SIM004.
+        spots = {(v.line, v.col) for v in violations if v.rule == "SIM004"}
+        if "SIM004" not in active:
+            aux = _SimVisitor(path, scope, {"SIM004"})
+            aux.visit(tree)
+            spots = {(v.line, v.col) for v in aux.violations}
+        rec_visitor = _RecordSetVisitor(path)
+        rec_visitor.collect(tree)
+        rec_visitor.visit(tree)
+        violations.extend(
+            v for v in rec_visitor.violations if (v.line, v.col) not in spots
         )
     return violations

@@ -188,6 +188,10 @@ def cmd_check(args: argparse.Namespace) -> int:
         races=args.races,
         races_output=args.races_output,
         perf=args.perf,
+        cells=args.cells,
+        cells_only=args.cells_only,
+        cells_freshness_only=args.cells_freshness,
+        cells_output=args.cells_output,
     )
 
 
@@ -610,6 +614,17 @@ def build_parser() -> argparse.ArgumentParser:
                    "(PERF101-PERF105 over the sim-hot set)")
     p.add_argument("--races-output", metavar="FILE",
                    help="write race reports (or a clean marker) to FILE")
+    p.add_argument("--cells", action="store_true",
+                   help="also run the static shared-state audit "
+                   "(RACE201-RACE204): prove every mutable cell reachable "
+                   "from two concurrent process roots is sanitizer-noted")
+    p.add_argument("--cells-only", action="store_true",
+                   help="run only the shared-state audit")
+    p.add_argument("--cells-freshness", action="store_true",
+                   help="run only the cell-registry drift check (every "
+                   "in-tree note_access family must have a declaration)")
+    p.add_argument("--cells-output", metavar="FILE",
+                   help="write the RACE report (or a clean marker) to FILE")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--nodes", type=int, default=2,
                    help="nodes in the determinism-check experiment")

@@ -187,6 +187,11 @@ class HVACServer:
         stand-ins keep its hash range until the shard is streamed back.
         """
         self.cache.purge()
+        # Wiping the dedup table is a write to every live inflight cell:
+        # a same-timestamp reader about to join a wiped entry would wait
+        # on a fetch that no longer exists.
+        for path in self._inflight:
+            self.env.note_access(self._inflight_cell(path), "w", tag=("wipe", path))
         self._inflight.clear()
         self._failed = False
         self.endpoint.restart()
@@ -375,6 +380,7 @@ class HVACServer:
             waits.append(req.read_proc)
         yield AllOf(self.env, waits)
         self._incr("bytes_served", size)
+        # race: waive RACE201 -- histogram fold; commutative metrics aggregate
         self._read_seconds.add(self.env.now - t0)
         if rec is not None:
             rec.end(sid, self.env.now)

@@ -48,6 +48,7 @@ class Injector:
         return self._proc is not None and not self._proc.is_alive
 
     def _note(self, what: str) -> None:
+        # race: waive RACE201 -- append-only diagnostic log; kernel orders same-timestamp events
         self.log.append((self.env.now, what))
 
     # -- replay -----------------------------------------------------------

@@ -179,8 +179,10 @@ class RepairManager:
         finally:
             report.aborted = aborted
             report.finished = self.env.now
+            # race: waive RACE201 -- append-only report log; kernel orders completions
             self.reports.append(report)
             self.metrics.counter("repairs_aborted" if aborted else "repairs").incr()
+            # race: waive RACE201 -- gauge decrement commutes
             self.in_flight -= 1
         if not aborted:
             server.repair_complete()

@@ -38,7 +38,7 @@ from typing import Generator, Optional
 from ..core.deployment import HVACDeployment, client_key_order
 from ..core.server import HVACServer, ReadRequest
 from ..rpc import RPCError, RPCTimeout
-from ..simcore import Environment
+from ..simcore import Environment, cell_name
 from .planner import ClairvoyantPlanner
 
 __all__ = ["LookaheadScheduler"]
@@ -93,7 +93,9 @@ class LookaheadScheduler:
         self._wake_order = tuple(self._per_server)
         # Hoisted per-server cell and process names: staging runs per
         # read, so labels must not be rebuilt per event (PERF103).
-        self._cells = {sid: f"prefetch.queue.s{sid}" for sid in self._per_server}
+        self._cells = {
+            sid: cell_name("prefetch.queue", "s", sid) for sid in self._per_server
+        }
         self._watch_names = {
             sid: f"prefetch.watch.s{sid}" for sid in self._per_server
         }
@@ -182,6 +184,7 @@ class LookaheadScheduler:
 
     def _invalidate(self, sid: int) -> None:
         if sid not in self.invalidated:
+            # race: waive RACE201 -- monotone idempotent insert; writers converge
             self.invalidated.add(sid)
             self._m_invalidations.incr()
 

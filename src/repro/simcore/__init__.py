@@ -12,6 +12,7 @@ from .engine import (
     StopProcess,
     Timeout,
 )
+from .cells import cell_name
 from .monitor import Counter, Histogram, MetricRegistry, MetricScope, Series, Tally
 from .profile import ComponentProfile, SimProfiler
 from .rand import RandomStreams, stable_hash64
@@ -40,6 +41,7 @@ __all__ = [
     "PriorityStore",
     "Process",
     "RandomStreams",
+    "cell_name",
     "Resource",
     "Series",
     "SimProfiler",

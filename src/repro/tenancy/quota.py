@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from ..simcore import Environment
+from ..simcore import Environment, cell_name
 
 from .tenant import TenantSpec
 
@@ -59,12 +59,16 @@ class QuotaLedger:
         tid = spec.tenant_id
         if tid in self._cells:
             return
+        cell = self._cells[tid] = cell_name("tenancy.quota", "t", tid)
+        # Registration zero-initializes the tenant's counter pair — a
+        # genuine cell write: a lazy arrival racing a charge on the same
+        # tenant would silently drop the charge.
+        self.env.note_access(cell, "w", tag=("register", tid))
         self._quota_bytes[tid] = spec.quota_bytes
         self._quota_files[tid] = spec.quota_files
         self._used_bytes[tid] = 0
         self._used_files[tid] = 0
         self._refusals[tid] = 0
-        self._cells[tid] = f"tenancy.quota.t{tid}"
 
     def knows(self, tenant: int) -> bool:
         return tenant in self._cells

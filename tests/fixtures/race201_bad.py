@@ -1,0 +1,21 @@
+"""RACE201 fixture: a multi-root write with no declared cell.
+
+``start`` spawns one ``_worker`` process per job (a replicated spawn:
+weight 2), and every instance bumps ``self.total`` — shared mutable
+state the race sanitizer never hears about.
+"""
+
+
+class Pool:
+    def __init__(self, env, jobs):
+        self.env = env
+        self.jobs = jobs
+        self.total = 0
+
+    def start(self):
+        for job in self.jobs:
+            self.env.process(self._worker(job))
+
+    def _worker(self, job):
+        yield self.env.timeout(1.0)
+        self.total += job

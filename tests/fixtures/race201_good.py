@@ -1,0 +1,23 @@
+"""RACE201 fixture (clean): the same fan-out, but the shared counter
+is a declared cell and every worker notes the write, so the runtime
+sanitizer orders the mutations."""
+
+RACE_CELLS = (
+    ("pool.total", ("total",), "shared fan-in counter"),
+)
+
+
+class Pool:
+    def __init__(self, env, jobs):
+        self.env = env
+        self.jobs = jobs
+        self.total = 0
+
+    def start(self):
+        for job in self.jobs:
+            self.env.process(self._worker(job))
+
+    def _worker(self, job):
+        yield self.env.timeout(1.0)
+        self.env.note_access("pool.total", "w")
+        self.total += job

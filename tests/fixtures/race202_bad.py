@@ -1,0 +1,20 @@
+"""RACE202 fixture: a declared cell that is never write-noted.
+
+The declaration promises the sanitizer sees every ``_balance``
+mutation, but the only note in the module is a read — the write path
+the cell exists for was never instrumented (or was deleted later).
+"""
+
+RACE_CELLS = (
+    ("ledger.balance", ("_balance",), "shared running balance"),
+)
+
+
+class Ledger:
+    def __init__(self, env):
+        self.env = env
+        self._balance = 0
+
+    def preview(self, n):
+        self.env.note_access("ledger.balance", "r")
+        return self._balance + n

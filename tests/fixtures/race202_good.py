@@ -1,0 +1,20 @@
+"""RACE202 fixture (clean): the declared cell has a write-noted
+mutation path, so the declaration is live."""
+
+RACE_CELLS = (
+    ("ledger.balance", ("_balance",), "shared running balance"),
+)
+
+
+class Ledger:
+    def __init__(self, env):
+        self.env = env
+        self._balance = 0
+
+    def preview(self, n):
+        self.env.note_access("ledger.balance", "r")
+        return self._balance + n
+
+    def deposit(self, n):
+        self.env.note_access("ledger.balance", "w")
+        self._balance += n

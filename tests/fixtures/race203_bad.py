@@ -1,0 +1,23 @@
+"""RACE203 fixture: a write to a celled attribute outside note scope.
+
+``put`` notes the declared cell before mutating, but ``wipe`` clears
+the same declared attribute with no ``note_access`` in scope — the
+exact bypass that lets two same-timestamp events cross unseen.
+"""
+
+RACE_CELLS = (
+    ("store.items", ("_items",), "shared key/value table"),
+)
+
+
+class Store:
+    def __init__(self, env):
+        self.env = env
+        self._items = {}
+
+    def put(self, key, value):
+        self.env.note_access("store.items", "w")
+        self._items[key] = value
+
+    def wipe(self):
+        self._items.clear()

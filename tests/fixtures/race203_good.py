@@ -1,0 +1,20 @@
+"""RACE203 fixture (clean): every write to the celled attribute has a
+``note_access`` in scope, wipe included."""
+
+RACE_CELLS = (
+    ("store.items", ("_items",), "shared key/value table"),
+)
+
+
+class Store:
+    def __init__(self, env):
+        self.env = env
+        self._items = {}
+
+    def put(self, key, value):
+        self.env.note_access("store.items", "w")
+        self._items[key] = value
+
+    def wipe(self):
+        self.env.note_access("store.items", "w")
+        self._items.clear()

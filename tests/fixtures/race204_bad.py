@@ -1,0 +1,33 @@
+"""RACE204 fixture: colliding cell-name templates.
+
+Two problems the shape checker catches: ``pool.<a>`` and
+``pool.<a>.<b>`` intersect (an id containing a dot makes two distinct
+cells render the same string), and ``job.<t><n>`` concatenates two
+holes with no separator, so ``t=1, n=23`` and ``t=12, n=3`` collide.
+"""
+
+RACE_CELLS = (
+    ("pool.<a>", ("_slots",), "per-pool slot table"),
+    ("pool.<a>.<b>", ("_subslots",), "per-slot sub-table"),
+    ("job.<t><n>", ("_jobs",), "per-(tenant, job) row"),
+)
+
+
+class Board:
+    def __init__(self, env):
+        self.env = env
+        self._slots = {}
+        self._subslots = {}
+        self._jobs = {}
+
+    def claim(self, a):
+        self.env.note_access(f"pool.{a}", "w")
+        self._slots[a] = True
+
+    def subclaim(self, a, b):
+        self.env.note_access(f"pool.{a}.{b}", "w")
+        self._subslots[(a, b)] = True
+
+    def enqueue(self, t, n):
+        self.env.note_access(f"job.{t}{n}", "w")
+        self._jobs[(t, n)] = True

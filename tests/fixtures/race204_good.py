@@ -1,0 +1,28 @@
+"""RACE204 fixture (clean): the same cells with non-intersecting
+literal prefixes and a separator between every pair of holes."""
+
+RACE_CELLS = (
+    ("pool.slot.<a>", ("_slots",), "per-pool slot table"),
+    ("pool.sub.<a>.<b>", ("_subslots",), "per-slot sub-table"),
+    ("job.t<t>.n<n>", ("_jobs",), "per-(tenant, job) row"),
+)
+
+
+class Board:
+    def __init__(self, env):
+        self.env = env
+        self._slots = {}
+        self._subslots = {}
+        self._jobs = {}
+
+    def claim(self, a):
+        self.env.note_access(f"pool.slot.{a}", "w")
+        self._slots[a] = True
+
+    def subclaim(self, a, b):
+        self.env.note_access(f"pool.sub.{a}.{b}", "w")
+        self._subslots[(a, b)] = True
+
+    def enqueue(self, t, n):
+        self.env.note_access(f"job.t{t}.n{n}", "w")
+        self._jobs[(t, n)] = True

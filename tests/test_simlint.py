@@ -86,6 +86,14 @@ BAD_FIXTURES = {
         "        for x in g:\n"  # element iterated in hash order
         "            out.append(x)\n"
     ),
+    "SIM016": (
+        "from collections import namedtuple\n\n"
+        "Row = namedtuple('Row', 'key members')\n\n"
+        "def flush(out, a, b):\n"
+        "    row = Row('k', {a, b})\n\n"  # set laundered into a field
+        "    for x in row.members:\n"  # field iterated in hash order
+        "        out.append(x)\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -173,6 +181,14 @@ GOOD_FIXTURES = {
         "    for g in groups:\n"
         "        for x in sorted(g):\n"
         "            out.append(x)\n"
+    ),
+    "SIM016": (
+        "from collections import namedtuple\n\n"
+        "Row = namedtuple('Row', 'key members')\n\n"
+        "def flush(out, a, b):\n"
+        "    row = Row('k', {a, b})\n\n"
+        "    for x in sorted(row.members):\n"
+        "        out.append(x)\n"
     ),
 }
 
@@ -649,6 +665,73 @@ class TestCrossModuleTaint:
             "    for g in groups:\n"
             "        for w in g:  # simlint: waive SIM015 -- singleton sets\n"
             "            env.process(w)\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim016_fixture_files(self):
+        bad = lint_tree([os.path.join(FIXTURES, "sim016_bad.py")])
+        rules = [v.rule for v in bad.violations]
+        assert rules == ["SIM016", "SIM016"]
+        assert "Row.members" in bad.violations[0].message
+        good = lint_tree([os.path.join(FIXTURES, "sim016_good.py")])
+        assert good.violations == []
+
+    def test_sim016_dataclass_annotation_and_default_factory(self):
+        # annotation taint through a function parameter, default-factory
+        # taint through a direct construction
+        src = (
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Unit:\n"
+            "    label: str\n"
+            "    paths: set\n"
+            "    extra: object = field(default_factory=set)\n\n"
+            "def drain(env, u: Unit):\n"
+            "    env.process(list(u.extra))\n"
+        )
+        assert "SIM016" in codes(src, scope="sim")
+
+    def test_sim016_positional_unpack_carries_taint(self):
+        src = (
+            "from collections import namedtuple\n"
+            "Row = namedtuple('Row', ['key', 'members'])\n\n"
+            "def drain(env, a, b):\n"
+            "    row = Row('k', {a, b})\n"
+            "    key, members = row\n"
+            "    for w in members:\n"
+            "        env.process(w)\n"
+        )
+        assert "SIM016" in codes(src, scope="sim")
+
+    def test_sim016_sorted_field_is_exempt(self):
+        src = (
+            "from collections import namedtuple\n"
+            "Row = namedtuple('Row', 'key members')\n\n"
+            "def drain(env, a, b):\n"
+            "    row = Row('k', {a, b})\n"
+            "    env.process(sorted(row.members))\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim016_ordered_field_is_clean(self):
+        src = (
+            "from collections import namedtuple\n"
+            "Row = namedtuple('Row', 'key members')\n\n"
+            "def drain(env, a, b):\n"
+            "    row = Row('k', (a, b))\n"  # tuple field: ordered
+            "    for w in row.members:\n"
+            "        env.process(w)\n"
+        )
+        assert codes(src, scope="sim") == []
+
+    def test_sim016_waiver(self):
+        src = (
+            "from collections import namedtuple\n"
+            "Row = namedtuple('Row', 'key members')\n\n"
+            "def drain(env, a, b):\n"
+            "    row = Row('k', {a, b})\n"
+            "    for w in row.members:  # simlint: waive SIM016 -- singleton\n"
+            "        env.process(w)\n"
         )
         assert codes(src, scope="sim") == []
 
